@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation bench for the model's key design choices (DESIGN.md):
+ *
+ *  1. DSB->MITE switch penalty size — how the eviction channel's
+ *     signal scales with the penalty the paper identifies as the
+ *     timing root cause.
+ *  2. LSD loop-turnaround bubble — the LSD-vs-DSB separation behind
+ *     the misalignment channels and Fig. 2's middle gap.
+ *  3. RAPL update interval — the power channel's bandwidth cap.
+ *  4. Measurement noise level — channel error-rate sensitivity.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/nonmt_channels.hh"
+#include "core/power_channels.hh"
+#include "sim/cpu_model.hh"
+
+using namespace lf;
+
+namespace {
+
+ChannelResult
+runEviction(const CpuModel &model, std::uint64_t seed)
+{
+    Core core(model, seed);
+    ChannelConfig cfg;
+    cfg.d = 6;
+    NonMtEvictionChannel channel(core, cfg);
+    return channel.transmit(bench::alternatingMessage());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablations of model design choices (Gold 6226 base)");
+
+    // 1. Switch penalty sweep.
+    {
+        TextTable table("1. DSB->MITE switch penalty vs eviction-"
+                        "channel signal");
+        table.setHeader({"Penalty (cycles)", "Obs mean0", "Obs mean1",
+                         "Signal (cycles)", "Error"});
+        for (Cycles penalty : {0, 1, 3, 6, 12}) {
+            CpuModel model = gold6226();
+            model.frontend.dsbToMiteSwitch = penalty;
+            const ChannelResult res = runEviction(model, 1 + penalty);
+            table.addRow({std::to_string(penalty),
+                          formatFixed(res.meanObs0, 0),
+                          formatFixed(res.meanObs1, 0),
+                          formatFixed(res.meanObs1 - res.meanObs0, 0),
+                          formatPercent(res.errorRate)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // 2. LSD loop bubble sweep (misalignment-channel separation).
+    {
+        TextTable table("2. LSD loop bubble vs misalignment-channel "
+                        "signal");
+        table.setHeader({"Bubble (cycles)", "Signal (cycles)",
+                         "Error"});
+        for (Cycles bubble : {0, 1, 2, 4, 8}) {
+            CpuModel model = gold6226();
+            model.frontend.lsdLoopBubble = bubble;
+            Core core(model, 40 + bubble);
+            ChannelConfig cfg;
+            cfg.d = 5;
+            cfg.M = 8;
+            NonMtMisalignmentChannel channel(core, cfg);
+            const ChannelResult res =
+                channel.transmit(bench::alternatingMessage());
+            table.addRow({std::to_string(bubble),
+                          formatFixed(res.meanObs1 - res.meanObs0, 0),
+                          formatPercent(res.errorRate)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // 3. RAPL interval sweep (power-channel error).
+    {
+        TextTable table("3. RAPL update interval vs power-channel "
+                        "error");
+        table.setHeader({"Interval (us)", "Rate (Kbps)", "Error"});
+        for (double interval : {20.0, 50.0, 200.0, 1000.0}) {
+            CpuModel model = gold6226();
+            model.rapl.updateIntervalUs = interval;
+            Core core(model, 60 + static_cast<unsigned>(interval));
+            ChannelConfig cfg;
+            cfg.d = 6;
+            cfg.stealthy = true;
+            PowerChannelConfig power_cfg;
+            power_cfg.rounds = 8000;
+            PowerEvictionChannel channel(core, cfg, power_cfg);
+            Rng rng(5);
+            const auto msg =
+                makeMessage(MessagePattern::Alternating, 10, rng);
+            const ChannelResult res = channel.transmit(msg, 6);
+            table.addRow({formatFixed(interval, 0),
+                          formatKbps(res.transmissionKbps),
+                          formatPercent(res.errorRate)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // 4. Noise sweep.
+    {
+        TextTable table("4. Timing noise (jitter/kcycle) vs channel "
+                        "error");
+        table.setHeader({"Jitter sigma per kcycle", "Error (stealthy "
+                         "misalignment)"});
+        for (double jitter : {0.0, 2.0, 5.0, 10.0, 20.0}) {
+            CpuModel model = gold6226();
+            model.noise.jitterPerKcycle = jitter;
+            Core core(model, 80 + static_cast<unsigned>(jitter));
+            ChannelConfig cfg;
+            cfg.d = 5;
+            cfg.M = 8;
+            cfg.stealthy = true;
+            NonMtMisalignmentChannel channel(core, cfg);
+            const ChannelResult res =
+                channel.transmit(bench::alternatingMessage());
+            table.addRow({formatFixed(jitter, 1),
+                          formatPercent(res.errorRate)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

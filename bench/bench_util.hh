@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries.
+ *
+ * Every bench prints the simulated values next to the numbers the
+ * paper reports for the same cell, so the *shape* agreement (who wins,
+ * rough factors, orderings) can be checked at a glance. Absolute
+ * agreement is not expected: the substrate is a calibrated simulator,
+ * not the authors' testbeds (see EXPERIMENTS.md).
+ */
+
+#ifndef LF_BENCH_BENCH_UTIL_HH
+#define LF_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/message.hh"
+#include "common/table.hh"
+#include "core/channel.hh"
+
+namespace lf {
+namespace bench {
+
+/** Message length used by the covert-channel tables. */
+constexpr std::size_t kMessageBits = 100;
+
+inline std::vector<bool>
+alternatingMessage(std::size_t bits = kMessageBits)
+{
+    Rng rng(1);
+    return makeMessage(MessagePattern::Alternating, bits, rng);
+}
+
+/** "sim X / paper Y" cell. */
+inline std::string
+cmpCell(double sim, const char *paper)
+{
+    return formatFixed(sim, 2) + " (paper " + paper + ")";
+}
+
+inline void
+printResultRows(TextTable &table, const std::string &label,
+                const std::vector<ChannelResult> &results,
+                const std::vector<const char *> &paper_rate,
+                const std::vector<const char *> &paper_err)
+{
+    std::vector<std::string> rate_row = {label + " Tr. Rate (Kbps)"};
+    std::vector<std::string> err_row = {label + " Error Rate"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        rate_row.push_back(cmpCell(results[i].transmissionKbps,
+                                   paper_rate[i]));
+        err_row.push_back(formatPercent(results[i].errorRate) +
+                          " (paper " + paper_err[i] + ")");
+    }
+    table.addRow(rate_row);
+    table.addRow(err_row);
+}
+
+inline void
+banner(const char *title)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title);
+    std::printf("==============================================\n");
+}
+
+} // namespace bench
+} // namespace lf
+
+#endif // LF_BENCH_BENCH_UTIL_HH

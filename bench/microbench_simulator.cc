@@ -1,0 +1,90 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * core tick throughput, chunk building, DSB lookups, and end-to-end
+ * covert-channel bit cost. These guard the simulation speed that the
+ * table/figure benches depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/nonmt_channels.hh"
+#include "isa/mix_block.hh"
+#include "sim/core.hh"
+#include "sim/cpu_model.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+namespace {
+
+void
+BM_CoreTickDsbLoop(benchmark::State &state)
+{
+    Core core(gold6226(), 1);
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < 8; ++i)
+        specs.push_back({i, false});
+    const auto chain = buildMixBlockChain(0x400000, 5, specs);
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 30);
+    for (auto _ : state)
+        core.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreTickDsbLoop);
+
+void
+BM_CoreTickSmtContention(benchmark::State &state)
+{
+    Core core(gold6226(), 1);
+    const auto attacker = buildNopLoop(0x100000, 100);
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < 9; ++i)
+        specs.push_back({i, false});
+    const auto victim = buildMixBlockChain(0x400000, 5, specs);
+    core.setProgram(0, &attacker.program);
+    core.setProgram(1, &victim.program);
+    core.runCycles(1000);
+    for (auto _ : state)
+        core.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreTickSmtContention);
+
+void
+BM_DsbLookup(benchmark::State &state)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    for (int i = 0; i < 256; ++i)
+        dsb.insert(0, static_cast<Addr>(i) * 32, 5);
+    Addr key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dsb.lookup(0, key));
+        key = (key + 32) % (256 * 32);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DsbLookup);
+
+void
+BM_ChannelBit(benchmark::State &state)
+{
+    Core core(xeonE2288G(), 1);
+    ChannelConfig cfg;
+    cfg.d = 6;
+    NonMtEvictionChannel channel(core, cfg);
+    channel.setup();
+    bool bit = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(channel.transmitBit(bit));
+        bit = !bit;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelBit);
+
+} // namespace
+} // namespace lf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table V: non-MT power-based covert channels (eviction and
+ * misalignment variants) on the Gold 6226, observed through the
+ * simulated RAPL counter.
+ *
+ * The paper interleaves p = q = 240,000 rounds per bit; the default
+ * here uses fewer rounds to keep simulation turnaround small and
+ * reports both the simulated rate and the rate normalized to the
+ * paper's round count (per-bit time scales linearly in rounds).
+ * Expected shape: ~three orders of magnitude slower than the timing
+ * channels, but comfortably above the 100 bps TCSEC threshold.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/power_channels.hh"
+#include "sim/cpu_model.hh"
+
+using namespace lf;
+
+namespace {
+
+constexpr int kPaperRounds = 240000;
+
+template <typename ChannelT>
+void
+runRow(TextTable &table, const char *name, const ChannelConfig &cfg,
+       const char *paper_rate, const char *paper_err,
+       std::uint64_t seed)
+{
+    PowerChannelConfig power_cfg;
+    power_cfg.rounds = 20000;
+    Core core(gold6226(), seed);
+    ChannelT channel(core, cfg, power_cfg);
+    Rng rng(3);
+    const auto msg = makeMessage(MessagePattern::Alternating, 12, rng);
+    const ChannelResult res = channel.transmit(msg, 8);
+    const double normalized = res.transmissionKbps *
+        static_cast<double>(power_cfg.rounds) /
+        static_cast<double>(kPaperRounds);
+    table.addRow({name, formatKbps(res.transmissionKbps),
+                  formatKbps(normalized) + " (paper " + paper_rate + ")",
+                  formatPercent(res.errorRate) + " (paper " + paper_err +
+                      ")"});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table V — non-MT power channels (Gold 6226, d = 6)");
+
+    TextTable table("Power channels via RAPL");
+    table.setHeader({"Channel", "Sim rate (Kbps, 20k rounds)",
+                     "Rate @ paper 240k rounds (Kbps)", "Error Rate"});
+
+    ChannelConfig ev;
+    ev.d = 6;
+    ev.stealthy = true;
+    runRow<PowerEvictionChannel>(table, "Eviction-Based", ev, "0.66",
+                                 "18.87%", 61);
+
+    ChannelConfig mi;
+    mi.d = 5;
+    mi.M = 8;
+    mi.stealthy = true;
+    runRow<PowerMisalignmentChannel>(table, "Misalignment-Based", mi,
+                                     "0.63", "9.07%", 62);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: both channels land in the ~kbps range"
+                " at paper\n  round counts (>> 100 bps TCSEC"
+                " threshold), far below the timing channels.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Leaking a secret out of an SGX enclave (Sec. VIII): a sender inside
+ * the enclave modulates the frontend paths; the receiver outside only
+ * times whole enclave calls, yet recovers the message.
+ */
+
+#include <cstdio>
+
+#include "common/message.hh"
+#include "sgx/sgx_channels.hh"
+#include "sim/cpu_model.hh"
+
+using namespace lf;
+
+int
+main()
+{
+    std::printf("== SGX enclave leak demo (Xeon E-2174G) ==\n\n");
+
+    const std::string secret = "SGX?";
+    const auto bits = textToBits(secret);
+    std::printf("Enclave holds the secret: \"%s\" (%zu bits)\n",
+                secret.c_str(), bits.size());
+
+    Core core(xeonE2174G(), 7);
+    ChannelConfig cfg;
+    cfg.d = 6;
+    SgxConfig sgx;
+    sgx.rounds = 4000;
+    SgxNonMtEvictionChannel channel(core, cfg, sgx);
+
+    std::printf("Receiver times one enclave entry/exit per bit "
+                "(entry cost ~%llu cycles, jittery)...\n\n",
+                static_cast<unsigned long long>(
+                    core.model().sgx.entryCycles));
+    const ChannelResult res = channel.transmit(bits);
+
+    std::printf("Recovered: \"%s\"\n", bitsToText(res.received).c_str());
+    std::printf("Rate: %.2f Kbps (paper Table VI: ~19-35 Kbps), "
+                "errors: %.2f%%\n",
+                res.transmissionKbps, res.errorRate * 100.0);
+    std::printf("\nThe enclave executed with a single entry and exit"
+                " per bit;\nthe signal is the frontend path difference"
+                " amplified over %d\ninterleaved encode/decode rounds"
+                " inside the enclave.\n", sgx.rounds);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The frontend Spectre v1 variant (Sec. IX): a transiently executed
+ * disclosure gadget encodes a 5-bit secret into which DSB set its
+ * instruction block occupies — no data-cache footprint at all. The
+ * demo recovers a short string and compares the L1 footprint against
+ * a classic MEM Flush+Reload disclosure.
+ */
+
+#include <cstdio>
+
+#include "sim/cpu_model.hh"
+#include "spectre/spectre.hh"
+
+using namespace lf;
+
+int
+main()
+{
+    std::printf("== Frontend Spectre v1 demo (Gold 6226) ==\n\n");
+
+    // Secret: "FE" packed into 5-bit chunks (values 0..31).
+    const std::string secret = "FE";
+    std::vector<int> chunks;
+    for (char c : secret) {
+        chunks.push_back((c >> 3) & 31);
+        chunks.push_back(c & 7);
+    }
+
+    Core core(gold6226(), 17);
+    SpectreAttack attack(core);
+
+    std::printf("Recovering %zu 5-bit chunks via the frontend (DSB-"
+                "set) channel...\n", chunks.size());
+    const SpectreResult frontend =
+        attack.run(SpectreVariant::Frontend, chunks);
+    std::printf("  accuracy: %.0f%%, L1 miss rate: %.3f%%\n",
+                frontend.accuracy * 100.0,
+                frontend.l1MissRate * 100.0);
+
+    std::printf("Same secrets via MEM Flush+Reload (baseline)...\n");
+    const SpectreResult mem =
+        attack.run(SpectreVariant::MemFlushReload, chunks);
+    std::printf("  accuracy: %.0f%%, L1 miss rate: %.3f%%\n",
+                mem.accuracy * 100.0, mem.l1MissRate * 100.0);
+
+    std::printf("\nThe frontend channel leaks through the micro-op"
+                " cache alone:\n  %.3f%% vs %.3f%% induced L1 misses"
+                " (paper Table VII: 0.21%% vs 2.81%%).\n",
+                frontend.l1MissRate * 100.0, mem.l1MissRate * 100.0);
+    return 0;
+}

@@ -1,0 +1,38 @@
+#include "backend/backend.hh"
+
+namespace lf {
+
+Backend::Backend(FrontendEngine *engine)
+    : engine_(engine), issueWidth_(engine->params().issueWidth)
+{
+}
+
+void
+Backend::tick()
+{
+    int budget = issueWidth_;
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (int i = 0; i < FrontendEngine::kNumThreads && budget > 0;
+             ++i) {
+            const int tid = (rrStart_ + i) % FrontendEngine::kNumThreads;
+            std::uint64_t insts = 0;
+            if (engine_->popUops(tid, 1, insts) > 0) {
+                --budget;
+                progress = true;
+                lastRetire_[static_cast<std::size_t>(tid)] =
+                    engine_->cycle();
+            }
+        }
+    }
+    rrStart_ = (rrStart_ + 1) % FrontendEngine::kNumThreads;
+}
+
+Cycles
+Backend::lastRetireCycle(ThreadId tid) const
+{
+    return lastRetire_[static_cast<std::size_t>(tid)];
+}
+
+} // namespace lf

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simplified execution backend.
+ *
+ * The paper's workloads are deliberately frontend-bound (Sec. IV-D:
+ * the mix blocks avoid loads, stores and port contention), so the
+ * backend model is a shared in-order consumer: it drains up to
+ * issueWidth micro-ops per cycle from the two threads' IDQs in
+ * round-robin order and retires them immediately. Per-thread retired
+ * instruction counts come from the IDQ's end-of-instruction markers.
+ */
+
+#ifndef LF_BACKEND_BACKEND_HH
+#define LF_BACKEND_BACKEND_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "frontend/engine.hh"
+
+namespace lf {
+
+class Backend
+{
+  public:
+    explicit Backend(FrontendEngine *engine);
+
+    /** Consume micro-ops for one cycle. */
+    void tick();
+
+    /** Cycle at which the thread last retired a micro-op. */
+    Cycles lastRetireCycle(ThreadId tid) const;
+
+  private:
+    FrontendEngine *engine_;
+    int issueWidth_;
+    std::array<Cycles, FrontendEngine::kNumThreads> lastRetire_{};
+    int rrStart_ = 0;
+};
+
+} // namespace lf
+
+#endif // LF_BACKEND_BACKEND_HH

@@ -1,0 +1,138 @@
+#include "backend/l1d_cache.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+L1dCache::L1dCache(const L1dParams &params)
+    : params_(params),
+      lines_(static_cast<std::size_t>(params.sets) *
+             static_cast<std::size_t>(params.ways))
+{
+    lf_assert(params_.sets > 0 && (params_.sets & (params_.sets - 1)) == 0,
+              "L1D sets must be a power of two");
+    lf_assert(params_.lineBytes > 0 &&
+              (params_.lineBytes & (params_.lineBytes - 1)) == 0,
+              "L1D line size must be a power of two");
+}
+
+int
+L1dCache::setOf(Addr addr) const
+{
+    return static_cast<int>(
+        (addr / static_cast<Addr>(params_.lineBytes)) &
+        static_cast<Addr>(params_.sets - 1));
+}
+
+Addr
+L1dCache::tagOf(Addr addr) const
+{
+    return addr / static_cast<Addr>(params_.lineBytes) /
+        static_cast<Addr>(params_.sets);
+}
+
+Addr
+L1dCache::lineAddr(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(params_.lineBytes - 1);
+}
+
+L1dCache::Line *
+L1dCache::findLine(Addr addr)
+{
+    const int set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    for (int w = 0; w < params_.ways; ++w) {
+        Line &line =
+            lines_[static_cast<std::size_t>(set * params_.ways + w)];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const L1dCache::Line *
+L1dCache::findLine(Addr addr) const
+{
+    return const_cast<L1dCache *>(this)->findLine(addr);
+}
+
+L1dCache::AccessResult
+L1dCache::load(Addr addr)
+{
+    ++accesses_;
+    if (Line *line = findLine(addr)) {
+        line->lru = ++lruClock_;
+        return {true, params_.hitLatency};
+    }
+    ++misses_;
+    const Cycles fill_latency =
+        flushedToMem_.count(lineAddr(addr)) ? params_.memLatency
+                                            : params_.l2Latency;
+    flushedToMem_.erase(lineAddr(addr));
+
+    const int set = setOf(addr);
+    Line *victim = nullptr;
+    for (int w = 0; w < params_.ways; ++w) {
+        Line &line =
+            lines_[static_cast<std::size_t>(set * params_.ways + w)];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->lru = ++lruClock_;
+    return {false, fill_latency};
+}
+
+void
+L1dCache::clflush(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->valid = false;
+    flushedToMem_.insert(lineAddr(addr));
+}
+
+bool
+L1dCache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+int
+L1dCache::lruRank(Addr addr) const
+{
+    const Line *target = findLine(addr);
+    if (!target)
+        return -1;
+    const int set = setOf(addr);
+    int rank = 0;
+    for (int w = 0; w < params_.ways; ++w) {
+        const Line &line =
+            lines_[static_cast<std::size_t>(set * params_.ways + w)];
+        if (&line != target && line.valid && line.lru < target->lru)
+            ++rank;
+    }
+    return rank;
+}
+
+double
+L1dCache::missRate() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    return static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+void
+L1dCache::resetStats()
+{
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace lf

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * L1 data cache with a two-level backing-store timing model.
+ *
+ * Used only by the Spectre baseline channels of Table VII (MEM
+ * Flush+Reload, L1D Flush+Reload, L1D LRU). A miss is served from the
+ * L2 unless the line was explicitly clflush'd, in which case it comes
+ * from memory — enough fidelity to separate the three baselines'
+ * timing and L1 miss-rate behaviour.
+ */
+
+#ifndef LF_BACKEND_L1D_CACHE_HH
+#define LF_BACKEND_L1D_CACHE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lf {
+
+struct L1dParams
+{
+    int sets = 64;
+    int ways = 8;
+    int lineBytes = 64;
+    Cycles hitLatency = 4;
+    Cycles l2Latency = 40;
+    Cycles memLatency = 200;
+};
+
+class L1dCache
+{
+  public:
+    explicit L1dCache(const L1dParams &params = {});
+
+    struct AccessResult
+    {
+        bool hit = false;
+        Cycles latency = 0;
+    };
+
+    /** Load the line containing @p addr (fills on miss). */
+    AccessResult load(Addr addr);
+
+    /** clflush: invalidate everywhere; next load pays memory latency. */
+    void clflush(Addr addr);
+
+    /** True if the line is L1-resident. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Way position of the line in LRU order (0 = LRU, ways-1 = MRU),
+     * or -1 when not resident. Exposes the LRU state the L1D-LRU
+     * covert channel of [Xiong & Szefer, HPCA'20] encodes into.
+     */
+    int lruRank(Addr addr) const;
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    double missRate() const;
+    void resetStats();
+
+    int numWays() const { return params_.ways; }
+    int lineBytes() const { return params_.lineBytes; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    int setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    L1dParams params_;
+    std::vector<Line> lines_;
+    std::unordered_set<Addr> flushedToMem_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace lf
+
+#endif // LF_BACKEND_L1D_CACHE_HH

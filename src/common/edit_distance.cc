@@ -1,0 +1,61 @@
+#include "common/edit_distance.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lf {
+
+namespace {
+
+template <typename Seq>
+std::size_t
+wagnerFischer(const Seq &a, const Seq &b)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+
+    std::vector<std::size_t> prev(m + 1);
+    std::vector<std::size_t> curr(m + 1);
+    std::iota(prev.begin(), prev.end(), std::size_t{0});
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+} // namespace
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    return wagnerFischer(a, b);
+}
+
+std::size_t
+editDistance(const std::vector<bool> &a, const std::vector<bool> &b)
+{
+    return wagnerFischer(a, b);
+}
+
+double
+bitErrorRate(const std::vector<bool> &sent,
+             const std::vector<bool> &received)
+{
+    if (sent.empty())
+        return 0.0;
+    return static_cast<double>(editDistance(sent, received)) /
+        static_cast<double>(sent.size());
+}
+
+} // namespace lf

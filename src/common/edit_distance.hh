@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Wagner–Fischer edit distance, used (as in the paper, Sec. VI) to
+ * compute covert-channel error rates between sent and received bit
+ * strings.
+ */
+
+#ifndef LF_COMMON_EDIT_DISTANCE_HH
+#define LF_COMMON_EDIT_DISTANCE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lf {
+
+/**
+ * Levenshtein edit distance (unit costs) between two strings via the
+ * Wagner–Fischer dynamic program with a rolling row.
+ */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/** Edit distance over bit vectors. */
+std::size_t editDistance(const std::vector<bool> &a,
+                         const std::vector<bool> &b);
+
+/**
+ * Channel error rate: editDistance(sent, received) / |sent|.
+ * Returns 0 for an empty sent message.
+ */
+double bitErrorRate(const std::vector<bool> &sent,
+                    const std::vector<bool> &received);
+
+} // namespace lf
+
+#endif // LF_COMMON_EDIT_DISTANCE_HH

@@ -1,0 +1,51 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace lf {
+
+bool verboseLogging = true;
+
+namespace detail {
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+terminateWith(const char *kind, const std::string &msg, const char *file,
+              int line, bool abortRun)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    if (abortRun)
+        std::abort();
+    std::exit(1);
+}
+
+void
+emit(const char *kind, const std::string &msg)
+{
+    if (!verboseLogging)
+        return;
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace lf

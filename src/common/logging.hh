@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  — an internal invariant of the simulator was violated (a bug
+ *            in this library); aborts.
+ * fatal()  — the user configured something impossible; exits cleanly.
+ * warn()   — something is off but the simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef LF_COMMON_LOGGING_HH
+#define LF_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lf {
+
+/** Global verbosity switch; set false to silence inform()/warn(). */
+extern bool verboseLogging;
+
+namespace detail {
+
+[[noreturn]] void terminateWith(const char *kind, const std::string &msg,
+                                const char *file, int line, bool abortRun);
+
+void emit(const char *kind, const std::string &msg);
+
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace lf
+
+/** Abort: simulator-internal invariant violated. */
+#define lf_panic(...)                                                    \
+    ::lf::detail::terminateWith("panic", ::lf::detail::formatString(     \
+        __VA_ARGS__), __FILE__, __LINE__, true)
+
+/** Exit(1): user error (bad configuration or arguments). */
+#define lf_fatal(...)                                                    \
+    ::lf::detail::terminateWith("fatal", ::lf::detail::formatString(     \
+        __VA_ARGS__), __FILE__, __LINE__, false)
+
+/** Panic when a condition does not hold. */
+#define lf_assert(cond, ...)                                             \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::lf::detail::terminateWith("panic: assert(" #cond ")",      \
+                ::lf::detail::formatString(__VA_ARGS__),                 \
+                __FILE__, __LINE__, true);                               \
+        }                                                                \
+    } while (0)
+
+#define lf_warn(...)                                                     \
+    ::lf::detail::emit("warn", ::lf::detail::formatString(__VA_ARGS__))
+
+#define lf_inform(...)                                                   \
+    ::lf::detail::emit("info", ::lf::detail::formatString(__VA_ARGS__))
+
+#endif // LF_COMMON_LOGGING_HH

@@ -1,0 +1,98 @@
+#include "common/message.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+const char *
+toString(MessagePattern pattern)
+{
+    switch (pattern) {
+      case MessagePattern::AllZeros: return "all-0s";
+      case MessagePattern::AllOnes: return "all-1s";
+      case MessagePattern::Alternating: return "alternating";
+      case MessagePattern::Random: return "random";
+    }
+    return "?";
+}
+
+std::vector<MessagePattern>
+allMessagePatterns()
+{
+    return {MessagePattern::AllZeros, MessagePattern::AllOnes,
+            MessagePattern::Alternating, MessagePattern::Random};
+}
+
+std::vector<bool>
+makeMessage(MessagePattern pattern, std::size_t bits, Rng &rng)
+{
+    std::vector<bool> msg(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+        switch (pattern) {
+          case MessagePattern::AllZeros:
+            msg[i] = false;
+            break;
+          case MessagePattern::AllOnes:
+            msg[i] = true;
+            break;
+          case MessagePattern::Alternating:
+            msg[i] = (i % 2) == 1;
+            break;
+          case MessagePattern::Random:
+            msg[i] = rng.chance(0.5);
+            break;
+        }
+    }
+    return msg;
+}
+
+std::string
+toBitString(const std::vector<bool> &bits)
+{
+    std::string out;
+    out.reserve(bits.size());
+    for (bool b : bits)
+        out.push_back(b ? '1' : '0');
+    return out;
+}
+
+std::vector<bool>
+fromBitString(const std::string &text)
+{
+    std::vector<bool> bits;
+    bits.reserve(text.size());
+    for (char c : text) {
+        if (c != '0' && c != '1')
+            lf_fatal("bit string contains non-bit character '%c'", c);
+        bits.push_back(c == '1');
+    }
+    return bits;
+}
+
+std::vector<bool>
+textToBits(const std::string &text)
+{
+    std::vector<bool> bits;
+    bits.reserve(text.size() * 8);
+    for (unsigned char c : text)
+        for (int bit = 7; bit >= 0; --bit)
+            bits.push_back((c >> bit) & 1);
+    return bits;
+}
+
+std::string
+bitsToText(const std::vector<bool> &bits)
+{
+    std::string out;
+    const std::size_t bytes = bits.size() / 8;
+    out.reserve(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        unsigned char c = 0;
+        for (int bit = 0; bit < 8; ++bit)
+            c = static_cast<unsigned char>((c << 1) | bits[i * 8 + bit]);
+        out.push_back(static_cast<char>(c));
+    }
+    return out;
+}
+
+} // namespace lf

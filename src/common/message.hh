@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Covert-channel message patterns (Table II of the paper) and
+ * bit-string helpers.
+ */
+
+#ifndef LF_COMMON_MESSAGE_HH
+#define LF_COMMON_MESSAGE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace lf {
+
+/** The four message patterns evaluated in Table II. */
+enum class MessagePattern {
+    AllZeros,
+    AllOnes,
+    Alternating,  //!< 0,1,0,1,...
+    Random,
+};
+
+const char *toString(MessagePattern pattern);
+
+/** All four patterns, in table order. */
+std::vector<MessagePattern> allMessagePatterns();
+
+/**
+ * Generate a message of @p bits bits following @p pattern.
+ * @param rng Only consulted for MessagePattern::Random.
+ */
+std::vector<bool> makeMessage(MessagePattern pattern, std::size_t bits,
+                              Rng &rng);
+
+/** "0"/"1" string rendering of a bit vector. */
+std::string toBitString(const std::vector<bool> &bits);
+
+/** Parse a "0"/"1" string; other characters are a fatal user error. */
+std::vector<bool> fromBitString(const std::string &text);
+
+/** Pack ASCII text into bits, MSB first per byte. */
+std::vector<bool> textToBits(const std::string &text);
+
+/** Unpack bits (MSB first per byte) back into text; truncates tail. */
+std::string bitsToText(const std::vector<bool> &bits);
+
+} // namespace lf
+
+#endif // LF_COMMON_MESSAGE_HH

@@ -1,0 +1,202 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lf {
+
+void
+OnlineStats::add(double sample)
+{
+    ++count_;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta *
+        static_cast<double>(count_) * static_cast<double>(other.count_) /
+        total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    lf_assert(bins > 0, "histogram needs at least one bin");
+    lf_assert(hi > lo, "histogram range [%f, %f) is empty", lo, hi);
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    stats_.add(sample);
+    if (sample < lo_) {
+        ++underflow_;
+    } else if (sample >= hi_) {
+        ++overflow_;
+    } else {
+        auto bin = static_cast<std::size_t>((sample - lo_) / binWidth_);
+        bin = std::min(bin, counts_.size() - 1);
+        ++counts_[bin];
+    }
+}
+
+std::size_t
+Histogram::binCount(std::size_t bin) const
+{
+    lf_assert(bin < counts_.size(), "bin %zu out of range", bin);
+    return counts_[bin];
+}
+
+double
+Histogram::binLo(std::size_t bin) const
+{
+    return lo_ + binWidth_ * static_cast<double>(bin);
+}
+
+double
+Histogram::binHi(std::size_t bin) const
+{
+    return binLo(bin) + binWidth_;
+}
+
+double
+Histogram::density(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(binCount(bin)) /
+        static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream out;
+    char label[96];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        std::snprintf(label, sizeof(label), "[%10.2f, %10.2f) %8zu |",
+                      binLo(i), binHi(i), counts_[i]);
+        out << label << std::string(std::max<std::size_t>(bar, 1), '#')
+            << '\n';
+    }
+    if (underflow_)
+        out << "underflow: " << underflow_ << '\n';
+    if (overflow_)
+        out << "overflow: " << overflow_ << '\n';
+    return out.str();
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double sq = 0.0;
+    for (double v : values)
+        sq += (v - m) * (v - m);
+    return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    lf_assert(pct >= 0.0 && pct <= 100.0, "percentile %f out of range",
+              pct);
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        pct / 100.0 * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(rank, values.size() - 1)];
+}
+
+double
+euclideanDistance(const std::vector<double> &a,
+                  const std::vector<double> &b)
+{
+    lf_assert(a.size() == b.size(),
+              "euclideanDistance: size mismatch %zu vs %zu", a.size(),
+              b.size());
+    double sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sq += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(sq);
+}
+
+} // namespace lf

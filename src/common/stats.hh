@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Streaming statistics and histograms used by the measurement harness.
+ */
+
+#ifndef LF_COMMON_STATS_HH
+#define LF_COMMON_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lf {
+
+/**
+ * Online mean / variance / extrema accumulator (Welford's algorithm).
+ */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over a [lo, hi) range with under/overflow bins.
+ *
+ * Used to regenerate the timing (Fig. 2) and power (Fig. 9) histograms
+ * from the paper; render() produces an ASCII density plot.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first regular bin.
+     * @param hi Upper edge of the last regular bin.
+     * @param bins Number of regular bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+
+    std::size_t totalCount() const { return total_; }
+    std::size_t binCount(std::size_t bin) const;
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    std::size_t numBins() const { return counts_.size(); }
+    double binLo(std::size_t bin) const;
+    double binHi(std::size_t bin) const;
+
+    /** Fraction of samples in a bin (0 when empty). */
+    double density(std::size_t bin) const;
+
+    /** Sample mean of all added values (including clamped ones). */
+    double mean() const { return stats_.mean(); }
+    const OnlineStats &stats() const { return stats_; }
+
+    /**
+     * ASCII rendering, one line per non-empty bin:
+     * "[lo, hi) count |#####".
+     * @param width Width in characters of the largest bar.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+    OnlineStats stats_;
+};
+
+/** Mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation of a vector (0 for size < 2). */
+double stddev(const std::vector<double> &values);
+
+/** Median (averaged middle pair for even sizes; 0 for empty). */
+double median(std::vector<double> values);
+
+/** Percentile in [0, 100] via nearest-rank (0 for empty). */
+double percentile(std::vector<double> values, double pct);
+
+/** Euclidean distance between two equal-length traces. */
+double euclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+} // namespace lf
+
+#endif // LF_COMMON_STATS_HH

@@ -1,0 +1,143 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lf {
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size()) {
+        lf_panic("table row has %zu cells, header has %zu", row.size(),
+                 header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths over header and all rows.
+    std::size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.size());
+    std::vector<std::size_t> widths(columns, 0);
+    auto account = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        account(header_);
+    for (const auto &row : rows_)
+        account(row);
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t i = 0; i < columns; ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            line += (i == 0 ? "| " : " ");
+            line += cell;
+            line += std::string(widths[i] - cell.size(), ' ');
+            line += " |";
+        }
+        return line;
+    };
+
+    std::size_t total = 1;
+    for (auto w : widths)
+        total += w + 3;
+
+    std::ostringstream out;
+    const std::string rule(total, '-');
+    if (!title_.empty())
+        out << title_ << '\n';
+    out << rule << '\n';
+    if (!header_.empty())
+        out << renderRow(header_) << '\n' << rule << '\n';
+    for (const auto &row : rows_)
+        out << renderRow(row) << '\n';
+    out << rule << '\n';
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            out << escape(row[i]);
+        }
+        out << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio, int decimals)
+{
+    return formatFixed(ratio * 100.0, decimals) + "%";
+}
+
+std::string
+formatKbps(double kbps)
+{
+    return formatFixed(kbps, 2);
+}
+
+std::string
+formatEng(double value)
+{
+    if (value == 0.0)
+        return "0";
+    const double expo = std::floor(std::log10(std::fabs(value)));
+    const double mant = value / std::pow(10.0, expo);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fe%d", mant,
+                  static_cast<int>(expo));
+    return buf;
+}
+
+} // namespace lf

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering for the benchmark harness so that
+ * every bench binary can print rows in the same shape as the paper's
+ * tables.
+ */
+
+#ifndef LF_COMMON_TABLE_HH
+#define LF_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lf {
+
+/**
+ * A simple column-aligned text table with an optional title.
+ *
+ * Usage:
+ * @code
+ *   TextTable t("Table III");
+ *   t.setHeader({"Attack", "G6226", "E-2174G"});
+ *   t.addRow({"Tr. Rate (Kbps)", "419.67", "851.81"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with aligned columns and separators. */
+    std::string render() const;
+
+    /** Render as CSV (header first when present). */
+    std::string renderCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string formatFixed(double value, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.0268 -> "2.68%". */
+std::string formatPercent(double ratio, int decimals = 2);
+
+/** Format Kbps, e.g. 1410.84 -> "1410.84". */
+std::string formatKbps(double kbps);
+
+/** Format a large count with engineering suffix, e.g. 8.4e9 -> "8.4e9". */
+std::string formatEng(double value);
+
+} // namespace lf
+
+#endif // LF_COMMON_TABLE_HH

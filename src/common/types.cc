@@ -1,0 +1,16 @@
+#include "common/types.hh"
+
+namespace lf {
+
+const char *
+toString(DeliveryPath path)
+{
+    switch (path) {
+      case DeliveryPath::MITE: return "MITE";
+      case DeliveryPath::DSB: return "DSB";
+      case DeliveryPath::LSD: return "LSD";
+    }
+    return "?";
+}
+
+} // namespace lf

@@ -1,0 +1,88 @@
+#include "core/channel.hh"
+
+
+#include <cmath>
+#include "common/edit_distance.hh"
+#include "common/logging.hh"
+
+namespace lf {
+
+CovertChannel::CovertChannel(Core &core, const ChannelConfig &config)
+    : core_(core), cfg_(config)
+{
+    lf_assert(config.d >= 1 && config.d <= config.N,
+              "receiver ways d=%d out of range", config.d);
+    lf_assert(config.M <= config.N + 1, "M=%d too large", config.M);
+    lf_assert(config.targetSet >= 0 && config.targetSet < 32,
+              "bad target set");
+}
+
+void
+CovertChannel::chargeMeasurementOverhead()
+{
+    core_.runCycles(core_.model().noise.tscOverhead);
+}
+
+ChannelResult
+CovertChannel::transmit(const std::vector<bool> &message,
+                        int preamble_bits)
+{
+    if (!setupDone_) {
+        setup();
+        setupDone_ = true;
+    }
+
+    // Warmup: the very first transmissions pay cold-start costs (L1I
+    // and DSB fills, BTB misses) that would skew calibration; discard
+    // them.
+    for (int i = 0; i < 4; ++i)
+        transmitBit((i % 2) == 1);
+
+    // Calibration preamble: alternating 0s and 1s with known values
+    // (Sec. VI-B). Class means become the decoding reference.
+    double sum0 = 0.0;
+    double sum1 = 0.0;
+    int n0 = 0;
+    int n1 = 0;
+    for (int i = 0; i < preamble_bits; ++i) {
+        const bool bit = (i % 2) == 1;
+        const double obs = transmitBit(bit);
+        if (bit) {
+            sum1 += obs;
+            ++n1;
+        } else {
+            sum0 += obs;
+            ++n0;
+        }
+    }
+    lf_assert(n0 > 0 && n1 > 0, "preamble too short");
+    const double mean0 = sum0 / n0;
+    const double mean1 = sum1 / n1;
+
+    // Message transmission.
+    ChannelResult result;
+    result.channelName = name();
+    result.cpuName = core_.model().name;
+    result.sent = message;
+    result.meanObs0 = mean0;
+    result.meanObs1 = mean1;
+
+    const Cycles start = core_.cycle();
+    result.received.reserve(message.size());
+    for (bool bit : message) {
+        const double obs = transmitBit(bit);
+        const bool decoded =
+            std::fabs(obs - mean1) < std::fabs(obs - mean0);
+        result.received.push_back(decoded);
+    }
+    const Cycles elapsed = core_.cycle() - start;
+
+    result.seconds = core_.secondsOf(static_cast<double>(elapsed));
+    result.errorRate = bitErrorRate(result.sent, result.received);
+    result.transmissionKbps = result.seconds > 0.0
+        ? static_cast<double>(message.size()) / result.seconds / 1e3
+        : 0.0;
+    return result;
+}
+
+} // namespace lf

@@ -1,0 +1,118 @@
+#include "core/mt_channels.hh"
+
+#include "common/logging.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+
+namespace {
+
+std::vector<BlockSpec>
+waySpan(int first_way, int count, bool misaligned)
+{
+    std::vector<BlockSpec> specs;
+    specs.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        specs.push_back({first_way + i, misaligned});
+    return specs;
+}
+
+} // namespace
+
+MtChannelBase::MtChannelBase(Core &core, const ChannelConfig &config)
+    : CovertChannel(core, config)
+{
+    lf_assert(core.model().smtEnabled,
+              "MT channel needs an SMT-enabled CPU model (%s has SMT"
+              " disabled)", core.model().name.c_str());
+}
+
+double
+MtChannelBase::transmitBit(bool bit)
+{
+    // Init: receiver loop reaches steady state with the sender idle.
+    core_.setProgram(kReceiver, &receiver_.program);
+    runLoopIters(core_, kReceiver, receiver_,
+                 static_cast<std::uint64_t>(cfg_.initIters));
+
+    double sum = 0.0;
+    int samples = 0;
+    for (int step = 0; step < cfg_.mtSteps; ++step) {
+        if (bit) {
+            // Encode step: waking the sender partitions the DSB
+            // (invalidation toggle); the sender then keeps looping
+            // over its blocks *while the receiver measures*, so the
+            // receiver observes both the repartition refills and the
+            // shared-frontend contention.
+            core_.setProgram(kSender, &encodeOne_.program);
+            core_.runUntilRetired(
+                kSender,
+                static_cast<std::uint64_t>(cfg_.mtSenderIters) *
+                    encodeOne_.instsPerIteration);
+        }
+        // Decode: the receiver times its own loop, concurrently with
+        // the sender when a 1 is being encoded.
+        for (int k = 0; k < cfg_.mtMeasPerStep; ++k) {
+            chargeMeasurementOverhead();
+            sum += timedLoopIters(core_, kReceiver, receiver_, 1);
+            ++samples;
+        }
+        if (bit)
+            core_.clearProgram(kSender); // second invalidation toggle
+    }
+    core_.clearProgram(kReceiver);
+    return sum / samples;
+}
+
+MtEvictionChannel::MtEvictionChannel(Core &core,
+                                     const ChannelConfig &config)
+    : MtChannelBase(core, config)
+{
+}
+
+std::string
+MtEvictionChannel::name() const
+{
+    return "MT eviction";
+}
+
+void
+MtEvictionChannel::setup()
+{
+    lf_assert(cfg_.targetSet >= 16,
+              "MT channels need a target set in the partition-mapped"
+              " half (>= 16), got %d", cfg_.targetSet);
+    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                   waySpan(0, cfg_.d, false));
+    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                    waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
+                                            false));
+}
+
+MtMisalignmentChannel::MtMisalignmentChannel(Core &core,
+                                             const ChannelConfig &config)
+    : MtChannelBase(core, config)
+{
+}
+
+std::string
+MtMisalignmentChannel::name() const
+{
+    return "MT misalignment";
+}
+
+void
+MtMisalignmentChannel::setup()
+{
+    lf_assert(cfg_.targetSet >= 16,
+              "MT channels need a target set in the partition-mapped"
+              " half (>= 16), got %d", cfg_.targetSet);
+    lf_assert(cfg_.M > cfg_.d, "misalignment channel needs M > d");
+    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                   waySpan(0, cfg_.d, false));
+    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                    waySpan(cfg_.d, cfg_.M - cfg_.d,
+                                            true));
+}
+
+} // namespace lf

@@ -1,0 +1,144 @@
+#include "fingerprint/patch_detect.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "isa/mix_block.hh"
+#include "sim/core.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+
+MicrocodePatch
+patch1()
+{
+    return {"3.20180312.0ubuntu18.04.1 (patch1)", true};
+}
+
+MicrocodePatch
+patch2()
+{
+    return {"3.20210608.0ubuntu0.18.04.1 (patch2)", false};
+}
+
+PatchDetector::PatchDetector(const CpuModel &base, int iters)
+    : base_(base), iters_(iters)
+{
+    lf_assert(iters > 10, "need a sensible iteration count");
+}
+
+namespace {
+
+/**
+ * Build a loop of @p blocks *short* mix blocks (2 mov + 1 jmp, 3
+ * micro-ops) spread over distinct sets so DSB way pressure never
+ * evicts and only the LSD capacity matters. Short blocks make the
+ * detector sharp: each occupies a whole DSB line but only half-fills
+ * it, so DSB delivery is line-rate-bound (1 block/cycle) while LSD
+ * streaming crosses block boundaries at 6 uops/cycle — the LSD is
+ * visibly *faster*, and its absence (patch2) shows in both timing and
+ * power.
+ */
+ChainProgram
+spreadLoop(int blocks)
+{
+    Assembler as(0x400000);
+    std::vector<Addr> starts;
+    for (int i = 0; i < blocks; ++i)
+        starts.push_back(0x400000 + static_cast<Addr>(i) * 32);
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        as.org(starts[i]);
+        for (int m = 0; m < 2; ++m)
+            as.mov();
+        as.jmp(i + 1 < starts.size() ? starts[i + 1] : starts[0]);
+    }
+    ChainProgram chain;
+    chain.program = as.take();
+    chain.program.setEntry(starts[0]);
+    chain.blockStarts = starts;
+    chain.loopHead = starts[0];
+    chain.instsPerIteration = static_cast<std::uint64_t>(blocks) * 3;
+    return chain;
+}
+
+struct LoopMeasurement
+{
+    double cyclesPerIter;
+    double watts;
+    double lsdShare;
+};
+
+LoopMeasurement
+measureLoop(Core &core, const ChainProgram &chain, int iters)
+{
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 20); // warm up
+    const PerfCounters before = core.counters(0);
+    const Cycles c0 = core.cycle();
+    runLoopIters(core, 0, chain, static_cast<std::uint64_t>(iters));
+    const Cycles elapsed = core.cycle() - c0;
+    const PerfCounters delta = core.counters(0).delta(before);
+
+    LoopMeasurement m;
+    m.cyclesPerIter = core.noisyMeasurement(
+        static_cast<double>(elapsed)) / iters;
+    m.watts = core.energyModel().averagePowerWatts(delta, elapsed);
+    m.lsdShare = delta.totalUops() == 0 ? 0.0
+        : static_cast<double>(delta.uopsLsd) /
+            static_cast<double>(delta.totalUops());
+    core.clearProgram(0);
+    return m;
+}
+
+} // namespace
+
+PatchSignature
+PatchDetector::measure(const MicrocodePatch &patch,
+                       std::uint64_t seed) const
+{
+    CpuModel model = base_;
+    model.frontend.lsdEnabled = patch.lsdEnabled;
+    Core core(model, seed);
+
+    // Below LSD capacity: 12 blocks x 3 uops = 36 <= 64.
+    const ChainProgram small_loop = spreadLoop(12);
+    // Above LSD capacity: 24 blocks x 3 uops = 72 > 64.
+    const ChainProgram large_loop = spreadLoop(24);
+
+    const LoopMeasurement small = measureLoop(core, small_loop, iters_);
+    const LoopMeasurement large = measureLoop(core, large_loop, iters_);
+
+    PatchSignature sig;
+    sig.patchName = patch.name;
+    sig.smallLoopCycles = small.cyclesPerIter;
+    sig.largeLoopCycles = large.cyclesPerIter * 12.0 / 24.0; // per-12-blocks
+    sig.smallLoopWatts = small.watts;
+    sig.largeLoopWatts = large.watts;
+    sig.smallLoopLsdShare = small.lsdShare;
+    return sig;
+}
+
+bool
+PatchDetector::classifyLsdEnabled(const PatchSignature &sig) const
+{
+    // With the LSD on, the small loop streams from the LSD: its
+    // normalized per-block timing diverges from the large loop's DSB
+    // timing and its power drops distinctly. With the LSD off both
+    // loops ride the DSB and the signatures coincide.
+    const double timing_gap =
+        std::fabs(sig.smallLoopCycles - sig.largeLoopCycles) /
+        sig.largeLoopCycles;
+    const double power_gap =
+        std::fabs(sig.smallLoopWatts - sig.largeLoopWatts) /
+        sig.largeLoopWatts;
+    return timing_gap > 0.05 || power_gap > 0.04;
+}
+
+bool
+PatchDetector::detectLsdEnabled(const MicrocodePatch &patch,
+                                std::uint64_t seed) const
+{
+    return classifyLsdEnabled(measure(patch, seed));
+}
+
+} // namespace lf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microcode patch fingerprinting (Sec. X, Fig. 10).
+ *
+ * The paper found that a newer Intel microcode patch (patch2) disables
+ * the LSD, while the older patch1 leaves it enabled. An attacker who
+ * measures the timing and power of instruction-mix-block loops below
+ * and above the LSD capacity can tell which patch is applied, because
+ * only with an enabled LSD does the below-capacity loop behave
+ * differently (LSD streaming: slightly different timing, distinctly
+ * lower power) from the above-capacity loop (DSB delivery).
+ */
+
+#ifndef LF_FINGERPRINT_PATCH_DETECT_HH
+#define LF_FINGERPRINT_PATCH_DETECT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+
+/** A microcode patch level: its observable effect is LSD gating. */
+struct MicrocodePatch
+{
+    std::string name;
+    bool lsdEnabled;
+};
+
+/** The two patches the paper tested on the Gold 6226. */
+MicrocodePatch patch1(); //!< 3.20180312.0: LSD enabled.
+MicrocodePatch patch2(); //!< 3.20210608.0: LSD disabled (and CVE fixes).
+
+/** Measured signature of one patch level (Fig. 10's bars). */
+struct PatchSignature
+{
+    std::string patchName;
+    /** Per-iteration cycles for a loop below the LSD capacity. */
+    double smallLoopCycles = 0.0;
+    /** Per-iteration cycles for a loop above the LSD capacity. */
+    double largeLoopCycles = 0.0;
+    /** Average package watts for the two loops. */
+    double smallLoopWatts = 0.0;
+    double largeLoopWatts = 0.0;
+    /** Fraction of the small loop's micro-ops delivered by the LSD. */
+    double smallLoopLsdShare = 0.0;
+};
+
+/**
+ * Fingerprints microcode patches on a CPU model by frontend behaviour.
+ */
+class PatchDetector
+{
+  public:
+    /**
+     * @param base CPU model whose microcode is being probed.
+     * @param iters Loop iterations per measurement.
+     */
+    explicit PatchDetector(const CpuModel &base, int iters = 400);
+
+    /** Measure the timing/power signature under @p patch. */
+    PatchSignature measure(const MicrocodePatch &patch,
+                           std::uint64_t seed = 1) const;
+
+    /**
+     * Classify from a signature: LSD considered enabled (patch1) when
+     * the small loop's behaviour diverges from the large loop's —
+     * timing-divergence OR power-divergence beyond the thresholds.
+     */
+    bool classifyLsdEnabled(const PatchSignature &sig) const;
+
+    /** Convenience: measure under @p patch and classify. */
+    bool detectLsdEnabled(const MicrocodePatch &patch,
+                          std::uint64_t seed = 1) const;
+
+  private:
+    CpuModel base_;
+    int iters_;
+};
+
+} // namespace lf
+
+#endif // LF_FINGERPRINT_PATCH_DETECT_HH

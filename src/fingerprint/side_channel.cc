@@ -1,0 +1,200 @@
+#include "fingerprint/side_channel.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "isa/mix_block.hh"
+#include "sim/core.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+
+namespace {
+
+constexpr ThreadId kAttacker = 0;
+constexpr ThreadId kVictim = 1;
+constexpr Addr kAttackerBase = 0x100000;
+
+/** Victim phase scheduler with per-run jittered durations. */
+class VictimDriver
+{
+  public:
+    VictimDriver(Core &core, const VictimWorkload &victim,
+                 double jitter_frac, Rng &rng)
+        : core_(core), victim_(victim)
+    {
+        durations_.reserve(victim.numPhases());
+        for (std::size_t i = 0; i < victim.numPhases(); ++i) {
+            const double jitter =
+                1.0 + rng.gaussian(0.0, jitter_frac);
+            const double cycles = static_cast<double>(
+                victim.phase(i).durationCycles) * std::max(jitter, 0.5);
+            durations_.push_back(static_cast<Cycles>(cycles));
+        }
+        enterPhase(0);
+    }
+
+    /** Account @p cycles of progress; switch phases as needed. */
+    void advance(Cycles cycles)
+    {
+        while (cycles >= remaining_) {
+            cycles -= remaining_;
+            enterPhase((phase_ + 1) % victim_.numPhases());
+        }
+        remaining_ -= cycles;
+    }
+
+    /** Cycles until the current phase ends. */
+    Cycles remaining() const { return remaining_; }
+
+  private:
+    void enterPhase(std::size_t index)
+    {
+        phase_ = index;
+        remaining_ = durations_[index];
+        core_.setProgram(kVictim, &victim_.phaseProgram(index));
+    }
+
+    Core &core_;
+    const VictimWorkload &victim_;
+    std::vector<Cycles> durations_;
+    std::size_t phase_ = 0;
+    Cycles remaining_ = 0;
+};
+
+} // namespace
+
+std::vector<double>
+attackerIpcTrace(const CpuModel &model, const VictimWorkload &victim,
+                 const TraceConfig &config, std::uint64_t seed)
+{
+    lf_assert(model.smtEnabled,
+              "the IPC side channel needs SMT (disabled on %s)",
+              model.name.c_str());
+    Core core(model, seed);
+    Rng rng(seed ^ 0xf17e5);
+
+    const ChainProgram attacker =
+        buildNopLoop(kAttackerBase, config.attackerNops);
+    core.setProgram(kAttacker, &attacker.program);
+
+    VictimDriver driver(core, victim, config.phaseJitterFrac, rng);
+
+    // Warm both threads.
+    core.runCycles(20000);
+    driver.advance(20000);
+
+    std::vector<double> trace;
+    trace.reserve(static_cast<std::size_t>(config.samples));
+    for (int s = 0; s < config.samples; ++s) {
+        const std::uint64_t insts0 =
+            core.counters(kAttacker).retiredInsts;
+        Cycles to_go = config.sampleCycles;
+        while (to_go > 0) {
+            const Cycles step = std::min(to_go, driver.remaining());
+            const Cycles chunk = step == 0 ? 1 : step;
+            core.runCycles(chunk);
+            driver.advance(chunk);
+            to_go -= chunk;
+        }
+        const double ipc =
+            static_cast<double>(core.counters(kAttacker).retiredInsts -
+                                insts0) /
+            static_cast<double>(config.sampleCycles);
+        trace.push_back(ipc + rng.gaussian(0.0, config.ipcNoiseStddev));
+    }
+    return trace;
+}
+
+double
+attackerBaselineIpc(const CpuModel &model, const TraceConfig &config)
+{
+    Core core(model, 7);
+    const ChainProgram attacker =
+        buildNopLoop(kAttackerBase, config.attackerNops);
+    core.setProgram(kAttacker, &attacker.program);
+    core.runCycles(20000);
+    const std::uint64_t insts0 = core.counters(kAttacker).retiredInsts;
+    const Cycles c0 = core.cycle();
+    core.runCycles(config.sampleCycles * 4);
+    return static_cast<double>(core.counters(kAttacker).retiredInsts -
+                               insts0) /
+        static_cast<double>(core.cycle() - c0);
+}
+
+FingerprintStudy
+runFingerprintStudy(const CpuModel &model,
+                    const std::vector<VictimWorkload> &workloads,
+                    const TraceConfig &config, int runs_per_workload,
+                    std::uint64_t seed_base)
+{
+    lf_assert(runs_per_workload >= 2,
+              "need >= 2 runs for intra-distance");
+
+    FingerprintStudy study;
+    for (const auto &workload : workloads) {
+        study.names.push_back(workload.name());
+        std::vector<std::vector<double>> runs;
+        for (int r = 0; r < runs_per_workload; ++r) {
+            runs.push_back(attackerIpcTrace(
+                model, workload, config,
+                seed_base + static_cast<std::uint64_t>(r) * 131 +
+                    study.names.size() * 7919));
+        }
+        study.traces.push_back(std::move(runs));
+    }
+
+    const std::size_t n = workloads.size();
+    study.distanceMatrix.assign(n, std::vector<double>(n, 0.0));
+    OnlineStats intra;
+    OnlineStats inter;
+
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            OnlineStats cell;
+            for (std::size_t i = 0; i < study.traces[a].size(); ++i) {
+                for (std::size_t j = 0; j < study.traces[b].size();
+                     ++j) {
+                    if (a == b && i >= j)
+                        continue;
+                    const double dist = euclideanDistance(
+                        study.traces[a][i], study.traces[b][j]);
+                    cell.add(dist);
+                    if (a == b)
+                        intra.add(dist);
+                    else if (a < b)
+                        inter.add(dist);
+                }
+            }
+            study.distanceMatrix[a][b] = cell.mean();
+        }
+    }
+    study.meanIntraDistance = intra.mean();
+    study.meanInterDistance = inter.mean();
+
+    // Nearest-reference classification: reference = run 0 of each
+    // workload; classify every other run.
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t i = 1; i < study.traces[a].size(); ++i) {
+            double best = -1.0;
+            std::size_t best_w = 0;
+            for (std::size_t w = 0; w < n; ++w) {
+                const double dist = euclideanDistance(
+                    study.traces[a][i], study.traces[w][0]);
+                if (best < 0.0 || dist < best) {
+                    best = dist;
+                    best_w = w;
+                }
+            }
+            ++total;
+            if (best_w == a)
+                ++correct;
+        }
+    }
+    study.classificationAccuracy = total == 0 ? 0.0
+        : static_cast<double>(correct) / static_cast<double>(total);
+    return study;
+}
+
+} // namespace lf

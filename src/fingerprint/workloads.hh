@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic victim workloads for the application-fingerprinting side
+ * channel (Sec. XI).
+ *
+ * The paper fingerprints Geekbench5 mobile workloads and TVM CNN
+ * inference through the attacker's own IPC waveform; neither suite is
+ * available offline, so we substitute phase-structured synthetic
+ * victims whose *frontend footprints* vary over time the way real
+ * applications' do: code-footprint size (how many distinct 32-byte
+ * windows the hot loop spans), LCP density (decode pressure), and
+ * phase durations. What matters for the side channel is only that
+ * different victims produce different frontend-contention waveforms
+ * and repeated runs of the same victim produce the same waveform —
+ * both properties these synthetics preserve.
+ */
+
+#ifndef LF_FINGERPRINT_WORKLOADS_HH
+#define LF_FINGERPRINT_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/mix_block.hh"
+#include "isa/program.hh"
+
+namespace lf {
+
+/** One victim execution phase. */
+struct WorkloadPhase
+{
+    std::string label;      //!< e.g. "conv3x3", "fc", "navigation".
+    int footprintBlocks;    //!< Hot-loop code footprint in mix blocks.
+    int lcpPer32Blocks;     //!< LCP'd instructions per 32 blocks.
+    Cycles durationCycles;  //!< Phase length in core cycles.
+};
+
+/** A victim application: an ordered list of phases, looped. */
+class VictimWorkload
+{
+  public:
+    VictimWorkload(std::string name, std::vector<WorkloadPhase> phases);
+
+    const std::string &name() const { return name_; }
+    std::size_t numPhases() const { return phases_.size(); }
+    const WorkloadPhase &phase(std::size_t i) const;
+
+    /** Program implementing phase @p i's hot loop. */
+    const Program &phaseProgram(std::size_t i) const;
+
+    /** Total cycles of one full pass over all phases. */
+    Cycles totalCycles() const;
+
+  private:
+    std::string name_;
+    std::vector<WorkloadPhase> phases_;
+    std::vector<std::unique_ptr<Program>> programs_;
+};
+
+/** @name Workload libraries */
+/// @{
+/** Ten mobile-style workloads standing in for Geekbench5
+ *  (Sec. XI-B). */
+std::vector<VictimWorkload> mobileWorkloads();
+
+/** Four CNN-inference victims standing in for the TVM models of
+ *  Sec. XI-C: AlexNet, SqueezeNet, VGG, DenseNet. */
+std::vector<VictimWorkload> cnnWorkloads();
+/// @}
+
+} // namespace lf
+
+#endif // LF_FINGERPRINT_WORKLOADS_HH

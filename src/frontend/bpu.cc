@@ -1,0 +1,48 @@
+#include "frontend/bpu.hh"
+
+namespace lf {
+
+bool
+Bpu::btbHas(Addr branch_addr) const
+{
+    return btb_.find(branch_addr) != btb_.end();
+}
+
+void
+Bpu::btbInsert(Addr branch_addr, Addr target)
+{
+    btb_[branch_addr] = target;
+}
+
+bool
+Bpu::predictCond(Addr branch_addr) const
+{
+    auto it = counters_.find(branch_addr);
+    if (it == counters_.end())
+        return false;
+    return it->second >= 2;
+}
+
+void
+Bpu::updateCond(Addr branch_addr, bool taken)
+{
+    std::uint8_t &counter = counters_[branch_addr];
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+void
+Bpu::reset()
+{
+    btb_.clear();
+    counters_.clear();
+    btbMisses_ = 0;
+    condMispredicts_ = 0;
+}
+
+} // namespace lf

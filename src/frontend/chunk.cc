@@ -1,0 +1,86 @@
+#include "frontend/chunk.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+ChunkCache::ChunkCache(const Program *program, const FrontendParams &params)
+    : program_(program), lineUops_(params.dsbLineUops)
+{
+    lf_assert(program_ != nullptr, "ChunkCache needs a program");
+}
+
+const Chunk *
+ChunkCache::get(Addr pc)
+{
+    auto it = cache_.find(pc);
+    if (it != cache_.end())
+        return it->second.insts.empty() && !it->second.halt
+            ? nullptr : &it->second;
+
+    if (!program_->contains(pc)) {
+        // Negative-cache the miss with an empty chunk.
+        cache_.emplace(pc, Chunk{});
+        return nullptr;
+    }
+    auto [pos, inserted] = cache_.emplace(pc, build(pc));
+    return &pos->second;
+}
+
+Chunk
+ChunkCache::build(Addr pc) const
+{
+    Chunk chunk;
+    chunk.start = pc;
+    const Addr window_end = (pc & ~Addr{31}) + 32;
+
+    Addr cursor = pc;
+    while (true) {
+        const StaticInst *inst = program_->at(cursor);
+        if (!inst)
+            break;
+        if (inst->isHalt()) {
+            if (chunk.insts.empty()) {
+                chunk.halt = true;
+                chunk.fallThrough = inst->nextAddr();
+            }
+            break;
+        }
+        // Window rule: instructions belong to the chunk of the window
+        // they *start* in (the entry instruction always qualifies).
+        if (!chunk.insts.empty() && inst->addr >= window_end)
+            break;
+        // Line capacity rule: one chunk holds at most one line's uops.
+        if (chunk.uops + inst->uops > lineUops_ && !chunk.insts.empty())
+            break;
+        // LCP rule: an LCP'd instruction re-syncs the predecoder and
+        // always forms its own (uncacheable) chunk.
+        if (inst->lcp && !chunk.insts.empty())
+            break;
+        chunk.insts.push_back(inst);
+        chunk.uops += inst->uops;
+        for (int u = 0; u < inst->uops; ++u)
+            chunk.endOfInst.push_back(u + 1 == inst->uops);
+        if (inst->lcp)
+            ++chunk.lcpCount;
+        cursor = inst->nextAddr();
+        if (inst->isBranch()) {
+            chunk.endsBranch = true;
+            break;
+        }
+        if (inst->lcp)
+            break; // LCP'd instruction stands alone
+    }
+
+    if (!chunk.insts.empty()) {
+        chunk.bytes = static_cast<int>(
+            chunk.insts.back()->nextAddr() - chunk.start);
+        chunk.fallThrough = chunk.insts.back()->nextAddr();
+        lf_assert(chunk.uops <= lineUops_ || chunk.insts.size() == 1,
+                  "chunk at 0x%llx exceeds one line",
+                  static_cast<unsigned long long>(pc));
+    }
+    return chunk;
+}
+
+} // namespace lf

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Decoded instruction runs ("chunks").
+ *
+ * A chunk is the unit the DSB caches and the delivery mux moves per
+ * cycle: the maximal run of instructions that (a) start inside the
+ * same 32-byte window as the run's entry point, (b) together produce
+ * at most one DSB line's worth of micro-ops, and (c) contains at most
+ * one (terminating) branch.
+ *
+ * Chunks are a pure function of (Program, entry address), so they are
+ * memoised in a ChunkCache. A misaligned mix block (entered at
+ * window_base + 16) naturally decomposes into two chunks in two
+ * adjacent DSB sets — the split that drives the misalignment attacks.
+ */
+
+#ifndef LF_FRONTEND_CHUNK_HH
+#define LF_FRONTEND_CHUNK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "frontend/params.hh"
+#include "isa/program.hh"
+
+namespace lf {
+
+struct Chunk
+{
+    Addr start = 0;
+    std::vector<const StaticInst *> insts;
+    int uops = 0;
+    int bytes = 0;
+    int lcpCount = 0;        //!< Instructions carrying an LCP.
+    bool endsBranch = false; //!< Last instruction is JMP/JCC.
+    bool halt = false;       //!< Chunk is a HALT pseudo-op.
+    Addr fallThrough = 0;    //!< Address after the last instruction.
+    /** Per-micro-op end-of-instruction markers (size == uops). */
+    std::vector<bool> endOfInst;
+
+    /** LCP'd instructions predecode in a chunk of their own and the
+     *  result is not cached in the DSB — this is the Sec. IV-H
+     *  behaviour ("use of LCP forces the frontend to switch from
+     *  issuing from DSB to issuing from MITE"). */
+    bool cacheable() const { return lcpCount == 0; }
+
+    int numInsts() const { return static_cast<int>(insts.size()); }
+    const StaticInst *branch() const
+    {
+        return endsBranch ? insts.back() : nullptr;
+    }
+    /** 32-byte window containing the entry point. */
+    Addr window() const { return start & ~Addr{31}; }
+    /** Whether the entry point is window-aligned. */
+    bool aligned() const { return (start & Addr{31}) == 0; }
+};
+
+/**
+ * Memoising chunk builder for one Program.
+ */
+class ChunkCache
+{
+  public:
+    ChunkCache(const Program *program, const FrontendParams &params);
+
+    /**
+     * Chunk starting at @p pc, or nullptr when no instruction starts
+     * there (the thread halts).
+     */
+    const Chunk *get(Addr pc);
+
+  private:
+    Chunk build(Addr pc) const;
+
+    const Program *program_;
+    int lineUops_;
+    std::unordered_map<Addr, Chunk> cache_;
+};
+
+} // namespace lf
+
+#endif // LF_FRONTEND_CHUNK_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * FrontendEngine: the per-cycle micro-op delivery machine for one
+ * physical core with two hardware threads.
+ *
+ * Each cycle, one ready thread wins the delivery slot (round-robin
+ * arbitration, as the MITE/DSB read port is shared between SMT
+ * siblings). The winning thread delivers one chunk from:
+ *   - the LSD, if a captured loop is streaming (6 uops/cycle with a
+ *     bubble at every loop turnaround),
+ *   - the DSB, on a micro-op cache hit (one line per cycle),
+ *   - the MITE, otherwise (L1I fetch + predecode with LCP stalls +
+ *     5-wide decode), which also fills the DSB.
+ * Path switches charge the penalties of FrontendParams.
+ *
+ * The engine exposes popUops() for the backend, speculativeFetch() for
+ * transient (Spectre) execution that updates frontend state without
+ * retiring, and setPartitioned() for the SMT DSB repartitioning the MT
+ * attacks exploit.
+ */
+
+#ifndef LF_FRONTEND_ENGINE_HH
+#define LF_FRONTEND_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "frontend/bpu.hh"
+#include "frontend/chunk.hh"
+#include "frontend/dsb.hh"
+#include "frontend/l1i_cache.hh"
+#include "frontend/loop_monitor.hh"
+#include "frontend/params.hh"
+#include "frontend/perf_counters.hh"
+#include "isa/program.hh"
+
+namespace lf {
+
+class FrontendEngine
+{
+  public:
+    static constexpr int kNumThreads = 2;
+
+    explicit FrontendEngine(const FrontendParams &params);
+
+    /** @name Thread program control */
+    /// @{
+    /** Bind @p program to thread @p tid and reset its pipeline state
+     *  (pc = entry, LSD off, IDQ drained). Shared structures (DSB,
+     *  L1I, BPU) are untouched — their persistence across program
+     *  switches is what the attacks measure. */
+    void setProgram(ThreadId tid, const Program *program);
+
+    /** Unbind the thread (it becomes idle). */
+    void clearProgram(ThreadId tid);
+
+    /** Thread has a program and has not halted. */
+    bool threadRunnable(ThreadId tid) const;
+    bool threadHasProgram(ThreadId tid) const;
+    /// @}
+
+    /** Advance the frontend by one core cycle. */
+    void tick();
+
+    /**
+     * Backend interface: pop at most @p max_uops micro-ops from the
+     * thread's IDQ. @p insts_retired is incremented for every
+     * end-of-instruction marker popped.
+     */
+    int popUops(ThreadId tid, int max_uops, std::uint64_t &insts_retired);
+
+    int idqOccupancy(ThreadId tid) const;
+
+    /** @name SMT partitioning */
+    /// @{
+    void setPartitioned(bool partitioned);
+    bool partitioned() const { return dsb_.partitioned(); }
+    /// @}
+
+    /**
+     * Transient (wrong-path) fetch: walk up to @p max_chunks chunks
+     * from @p start through the normal L1I/DSB fill path *without*
+     * delivering anything to the backend. Follows unconditional jumps,
+     * stops at conditional branches. This models speculative frontend
+     * state updates, the basis of the Spectre variant in Sec. IX.
+     */
+    void speculativeFetch(ThreadId tid, Addr start, int max_chunks);
+
+    /** Flush one thread's pipeline-local frontend state (LSD, IDQ,
+     *  loop detection); used at enclave entry/exit. */
+    void flushThreadFrontend(ThreadId tid);
+
+    /** @name Component and counter access */
+    /// @{
+    Dsb &dsb() { return dsb_; }
+    const Dsb &dsb() const { return dsb_; }
+    L1iCache &l1i() { return l1i_; }
+    const L1iCache &l1i() const { return l1i_; }
+    Bpu &bpu() { return bpu_; }
+    PerfCounters &counters(ThreadId tid);
+    const PerfCounters &counters(ThreadId tid) const;
+    Cycles cycle() const { return cycle_; }
+    const FrontendParams &params() const { return params_; }
+    bool lsdActive(ThreadId tid) const;
+    /// @}
+
+  private:
+    struct ThreadState
+    {
+        explicit ThreadState(const FrontendParams &params)
+            : monitor(params)
+        {
+        }
+
+        const Program *program = nullptr;
+        std::unique_ptr<ChunkCache> chunks;
+        Addr pc = 0;
+        bool halted = true;
+        Cycles stall = 0;
+        DeliveryPath lastSource = DeliveryPath::MITE;
+        std::deque<bool> idq; //!< end-of-instruction flag per uop
+
+        bool lsdActive = false;
+        std::vector<bool> lsdBody; //!< end-of-inst flag per body uop
+        std::size_t lsdPos = 0;
+        Addr lsdHead = 0;
+
+        LoopMonitor monitor;
+        bool nextIsBlockStart = true;
+        bool prevChunkLcp = false;
+
+        /** A chunk whose fetch/decode latency is still being paid;
+         *  its micro-ops deliver when the stall drains. */
+        const Chunk *pendingChunk = nullptr;
+        bool pendingFromDsb = false;
+        std::unordered_map<int, std::uint64_t> condCounts;
+        PerfCounters counters;
+    };
+
+    ThreadState &state(ThreadId tid);
+    const ThreadState &state(ThreadId tid) const;
+
+    bool deliverable(const ThreadState &ts) const;
+    void deliver(ThreadId tid);
+    void deliverLsd(ThreadId tid);
+    Cycles dsbPenalty(ThreadId tid, const Chunk &chunk);
+    Cycles mitePenalty(ThreadId tid, const Chunk &chunk);
+    void deliverFromDsb(ThreadId tid, const Chunk &chunk);
+    void deliverFromMite(ThreadId tid, const Chunk &chunk);
+    void finishChunk(ThreadId tid, const Chunk &chunk, bool from_dsb);
+    void pushUops(ThreadId tid, const Chunk &chunk);
+    void engageLsd(ThreadId tid);
+    void flushLsd(ThreadId tid);
+    bool lsdQualifies(ThreadId tid) const;
+    void onDsbEvict(ThreadId tid, Addr key);
+    void poisonSet(Addr key);
+    bool setPoisoned(Addr key) const;
+    Cycles chargeL1i(ThreadId tid, const Chunk &chunk);
+
+    FrontendParams params_;
+    L1iCache l1i_;
+    Dsb dsb_;
+    Bpu bpu_;
+    std::array<ThreadState, kNumThreads> threads_;
+    Cycles cycle_ = 0;
+    int lastSlot_ = kNumThreads - 1;
+
+    /** Misalignment poison per (full-index) DSB set: the block clock
+     *  value at which the poison expires. */
+    std::vector<std::uint64_t> poisonDeadline_;
+    std::uint64_t blockClock_ = 0;
+};
+
+} // namespace lf
+
+#endif // LF_FRONTEND_ENGINE_HH

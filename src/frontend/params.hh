@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tunable parameters of the simulated frontend.
+ *
+ * Defaults follow Table I of the paper and Intel's documented Skylake
+ * family frontend geometry: DSB of 32 sets x 8 ways with 6 micro-ops
+ * per 32-byte window line, a 64 micro-op LSD, a 32 KiB 8-way L1I, and
+ * a 5-wide legacy decoder.
+ */
+
+#ifndef LF_FRONTEND_PARAMS_HH
+#define LF_FRONTEND_PARAMS_HH
+
+#include "common/types.hh"
+
+namespace lf {
+
+struct FrontendParams
+{
+    /** @name DSB (micro-op cache) geometry */
+    /// @{
+    int dsbSets = 32;
+    int dsbWays = 8;
+    int dsbLineUops = 6;   //!< Max micro-ops held by one DSB line.
+    /// @}
+
+    /** @name LSD (loop stream detector) */
+    /// @{
+    bool lsdEnabled = true;
+    int lsdCapacityUops = 64;
+    /** Identical loop iterations observed before the LSD engages. */
+    int lsdWarmupIters = 2;
+    /** Pipeline bubble at every LSD loop turnaround. This is what makes
+     *  short-loop LSD delivery slightly slower than DSB delivery, the
+     *  ordering the paper measures in Fig. 2. */
+    Cycles lsdLoopBubble = 2;
+    /** How many subsequently delivered blocks it takes for the
+     *  misalignment poison on a DSB set to decay (Sec. IV-G model). */
+    int poisonDecayBlocks = 100;
+    /// @}
+
+    /** @name L1 instruction cache */
+    /// @{
+    int l1iSets = 64;
+    int l1iWays = 8;
+    int l1iLineBytes = 64;
+    Cycles l1iMissLatency = 30;
+    /// @}
+
+    /** @name MITE (legacy decode) */
+    /// @{
+    int decodeWidth = 5;    //!< Instructions decoded per cycle.
+    /** Legacy fetch bandwidth out of the L1I. This is what makes the
+     *  MITE path slower than the DSB for the 25-byte mix blocks. */
+    int fetchBytesPerCycle = 16;
+    /** Fetch redirect bubble after a taken branch decoded via the
+     *  MITE (the DSB path is architecturally shorter, Sec. IV). */
+    Cycles miteBranchBubble = 1;
+    /** Predecode stall per instruction carrying a length changing
+     *  prefix (Sec. IV-H: "up to 3 cycles"). */
+    Cycles lcpStall = 3;
+    /// @}
+
+    /** @name Path switch penalties (Sec. IV-H) */
+    /// @{
+    Cycles dsbToMiteSwitch = 3;
+    Cycles miteToDsbSwitch = 1;
+    /// @}
+
+    /** @name Branch prediction */
+    /// @{
+    Cycles btbMissPenalty = 8;
+    Cycles condMispredictPenalty = 14;
+    /// @}
+
+    /** @name Delivery / backend coupling */
+    /// @{
+    int idqEntries = 64;   //!< Per-thread IDQ capacity in micro-ops.
+    /** Micro-ops the backend consumes per cycle. Chosen wider than the
+     *  frontend's sustained delivery so the attack workloads stay
+     *  frontend-bound, as the paper's instruction mix requires
+     *  (Sec. IV-D). */
+    int issueWidth = 6;
+    /// @}
+
+    /** Bytes per DSB window; fixed by the ISA model. */
+    static constexpr int windowBytes = 32;
+};
+
+} // namespace lf
+
+#endif // LF_FRONTEND_PARAMS_HH

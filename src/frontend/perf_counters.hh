@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-thread performance counters.
+ *
+ * These mirror the hardware events the paper reads (IDQ.MITE_UOPS,
+ * IDQ.DSB_UOPS, LSD.UOPS, ILD_STALL.LCP, DSB2MITE_SWITCHES.
+ * PENALTY_CYCLES, ...) and are also the ground truth the power model
+ * integrates over.
+ */
+
+#ifndef LF_FRONTEND_PERF_COUNTERS_HH
+#define LF_FRONTEND_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace lf {
+
+struct PerfCounters
+{
+    /** @name Micro-op delivery attribution */
+    /// @{
+    std::uint64_t uopsMite = 0;
+    std::uint64_t uopsDsb = 0;
+    std::uint64_t uopsLsd = 0;
+    /// @}
+
+    /** @name Frontend events */
+    /// @{
+    std::uint64_t lcpStallCycles = 0;
+    std::uint64_t switchPenaltyCycles = 0;
+    std::uint64_t dsbToMiteSwitches = 0;
+    std::uint64_t miteToDsbSwitches = 0;
+    std::uint64_t lsdEngagements = 0;
+    std::uint64_t lsdFlushes = 0;
+    std::uint64_t blocksDelivered = 0;
+    /// @}
+
+    /** @name Cache / prediction events */
+    /// @{
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t condMispredicts = 0;
+    /// @}
+
+    /** @name Retirement */
+    /// @{
+    std::uint64_t retiredInsts = 0;
+    std::uint64_t retiredUops = 0;
+    /// @}
+
+    /** @name Speculative (transient) frontend activity */
+    /// @{
+    std::uint64_t specChunks = 0;
+    /// @}
+
+    std::uint64_t totalUops() const
+    {
+        return uopsMite + uopsDsb + uopsLsd;
+    }
+
+    /** Element-wise difference (this - earlier). */
+    PerfCounters delta(const PerfCounters &earlier) const
+    {
+        PerfCounters d;
+        d.uopsMite = uopsMite - earlier.uopsMite;
+        d.uopsDsb = uopsDsb - earlier.uopsDsb;
+        d.uopsLsd = uopsLsd - earlier.uopsLsd;
+        d.lcpStallCycles = lcpStallCycles - earlier.lcpStallCycles;
+        d.switchPenaltyCycles =
+            switchPenaltyCycles - earlier.switchPenaltyCycles;
+        d.dsbToMiteSwitches = dsbToMiteSwitches - earlier.dsbToMiteSwitches;
+        d.miteToDsbSwitches = miteToDsbSwitches - earlier.miteToDsbSwitches;
+        d.lsdEngagements = lsdEngagements - earlier.lsdEngagements;
+        d.lsdFlushes = lsdFlushes - earlier.lsdFlushes;
+        d.blocksDelivered = blocksDelivered - earlier.blocksDelivered;
+        d.l1iAccesses = l1iAccesses - earlier.l1iAccesses;
+        d.l1iMisses = l1iMisses - earlier.l1iMisses;
+        d.btbMisses = btbMisses - earlier.btbMisses;
+        d.condMispredicts = condMispredicts - earlier.condMispredicts;
+        d.retiredInsts = retiredInsts - earlier.retiredInsts;
+        d.retiredUops = retiredUops - earlier.retiredUops;
+        d.specChunks = specChunks - earlier.specChunks;
+        return d;
+    }
+};
+
+} // namespace lf
+
+#endif // LF_FRONTEND_PERF_COUNTERS_HH

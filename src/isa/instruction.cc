@@ -1,0 +1,82 @@
+#include "isa/instruction.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace lf {
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV_RR: return "mov";
+      case Opcode::ADD_RR: return "add";
+      case Opcode::ADD_LCP: return "add.66";
+      case Opcode::NOP: return "nop";
+      case Opcode::JMP: return "jmp";
+      case Opcode::JCC: return "jcc";
+      case Opcode::LOAD: return "load";
+      case Opcode::STORE: return "store";
+      case Opcode::CLFLUSH: return "clflush";
+      case Opcode::LFENCE: return "lfence";
+      case Opcode::HALT: return "halt";
+    }
+    return "?";
+}
+
+std::uint8_t
+defaultLength(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV_RR: return 5;   // mix block: 4x5 + 5 = 25 B
+      case Opcode::ADD_RR: return 3;
+      case Opcode::ADD_LCP: return 4;  // 0x66 prefix adds one byte
+      case Opcode::NOP: return 1;
+      case Opcode::JMP: return 5;      // jmp rel32
+      case Opcode::JCC: return 6;      // jcc rel32 (0x0f prefix)
+      case Opcode::LOAD: return 4;
+      case Opcode::STORE: return 4;
+      case Opcode::CLFLUSH: return 4;
+      case Opcode::LFENCE: return 3;
+      case Opcode::HALT: return 1;
+    }
+    lf_panic("unknown opcode");
+}
+
+std::uint8_t
+defaultUops(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV_RR:
+      case Opcode::ADD_RR:
+      case Opcode::ADD_LCP:
+      case Opcode::NOP:
+      case Opcode::JMP:
+      case Opcode::JCC:
+      case Opcode::LOAD:
+        return 1;
+      case Opcode::STORE:
+        return 2;  // store-address + store-data
+      case Opcode::CLFLUSH:
+        return 2;
+      case Opcode::LFENCE:
+        return 1;
+      case Opcode::HALT:
+        return 1;
+    }
+    lf_panic("unknown opcode");
+}
+
+std::string
+StaticInst::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "0x%llx: %s (%uB, %uuop%s)%s",
+                  static_cast<unsigned long long>(addr), lf::toString(op),
+                  length, uops, uops == 1 ? "" : "s",
+                  lcp ? " [LCP]" : "");
+    return buf;
+}
+
+} // namespace lf

@@ -1,0 +1,214 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lf {
+
+void
+Program::add(const StaticInst &inst)
+{
+    // Reject overlap with the previous instruction...
+    auto it = byAddr_.upper_bound(inst.addr);
+    if (it != byAddr_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.nextAddr() > inst.addr) {
+            lf_panic("instruction at 0x%llx overlaps %s",
+                     static_cast<unsigned long long>(inst.addr),
+                     prev->second.toString().c_str());
+        }
+    }
+    // ...and with the next one.
+    if (it != byAddr_.end() && inst.nextAddr() > it->second.addr) {
+        lf_panic("instruction at 0x%llx overlaps %s",
+                 static_cast<unsigned long long>(inst.addr),
+                 it->second.toString().c_str());
+    }
+    byAddr_.emplace(inst.addr, inst);
+}
+
+const StaticInst *
+Program::at(Addr addr) const
+{
+    auto it = byAddr_.find(addr);
+    return it == byAddr_.end() ? nullptr : &it->second;
+}
+
+Addr
+Program::entry() const
+{
+    if (hasEntry_)
+        return entry_;
+    lf_assert(!byAddr_.empty(), "entry() of an empty program");
+    return byAddr_.begin()->first;
+}
+
+std::uint64_t
+Program::byteSpan() const
+{
+    if (byAddr_.empty())
+        return 0;
+    const Addr lo = byAddr_.begin()->first;
+    const Addr hi = byAddr_.rbegin()->second.nextAddr();
+    return hi - lo;
+}
+
+std::uint64_t
+Program::totalUops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[addr, inst] : byAddr_)
+        total += inst.uops;
+    return total;
+}
+
+bool
+Program::evalCond(int cond_id, std::uint64_t count) const
+{
+    if (!condFn_)
+        return false;
+    return condFn_(cond_id, count);
+}
+
+std::vector<const StaticInst *>
+Program::instructions() const
+{
+    std::vector<const StaticInst *> out;
+    out.reserve(byAddr_.size());
+    for (const auto &[addr, inst] : byAddr_)
+        out.push_back(&inst);
+    return out;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream out;
+    for (const auto &[addr, inst] : byAddr_)
+        out << inst.toString() << '\n';
+    return out.str();
+}
+
+Assembler::Assembler(Addr start)
+    : cursor_(start)
+{
+}
+
+void
+Assembler::align(std::uint64_t alignment)
+{
+    lf_assert(alignment > 0 && (alignment & (alignment - 1)) == 0,
+              "alignment %llu is not a power of two",
+              static_cast<unsigned long long>(alignment));
+    cursor_ = (cursor_ + alignment - 1) & ~(alignment - 1);
+}
+
+Addr
+Assembler::emit(StaticInst inst)
+{
+    inst.addr = cursor_;
+    prog_.add(inst);
+    cursor_ += inst.length;
+    return inst.addr;
+}
+
+namespace {
+
+StaticInst
+makeInst(Opcode op)
+{
+    StaticInst inst;
+    inst.op = op;
+    inst.length = defaultLength(op);
+    inst.uops = defaultUops(op);
+    inst.lcp = (op == Opcode::ADD_LCP);
+    return inst;
+}
+
+} // namespace
+
+Addr
+Assembler::mov()
+{
+    return emit(makeInst(Opcode::MOV_RR));
+}
+
+Addr
+Assembler::add()
+{
+    return emit(makeInst(Opcode::ADD_RR));
+}
+
+Addr
+Assembler::addLcp()
+{
+    return emit(makeInst(Opcode::ADD_LCP));
+}
+
+Addr
+Assembler::nop()
+{
+    return emit(makeInst(Opcode::NOP));
+}
+
+Addr
+Assembler::jmp(Addr target)
+{
+    StaticInst inst = makeInst(Opcode::JMP);
+    inst.target = target;
+    return emit(inst);
+}
+
+Addr
+Assembler::jcc(Addr target, int cond_id)
+{
+    StaticInst inst = makeInst(Opcode::JCC);
+    inst.target = target;
+    inst.condId = cond_id;
+    return emit(inst);
+}
+
+Addr
+Assembler::load(Addr mem_addr)
+{
+    StaticInst inst = makeInst(Opcode::LOAD);
+    inst.memAddr = mem_addr;
+    return emit(inst);
+}
+
+Addr
+Assembler::store(Addr mem_addr)
+{
+    StaticInst inst = makeInst(Opcode::STORE);
+    inst.memAddr = mem_addr;
+    return emit(inst);
+}
+
+Addr
+Assembler::clflush(Addr mem_addr)
+{
+    StaticInst inst = makeInst(Opcode::CLFLUSH);
+    inst.memAddr = mem_addr;
+    return emit(inst);
+}
+
+Addr
+Assembler::lfence()
+{
+    return emit(makeInst(Opcode::LFENCE));
+}
+
+Addr
+Assembler::halt()
+{
+    return emit(makeInst(Opcode::HALT));
+}
+
+Program
+Assembler::take()
+{
+    return std::move(prog_);
+}
+
+} // namespace lf

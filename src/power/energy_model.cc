@@ -1,0 +1,47 @@
+#include "power/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+EnergyModel::EnergyModel(const EnergyParams &params, double freq_ghz)
+    : params_(params), freqGhz_(freq_ghz)
+{
+    lf_assert(freq_ghz > 0.0, "frequency must be positive");
+}
+
+double
+EnergyModel::secondsOf(Cycles cycles) const
+{
+    return static_cast<double>(cycles) / (freqGhz_ * 1e9);
+}
+
+MicroJoules
+EnergyModel::energyOf(const PerfCounters &delta, Cycles cycles) const
+{
+    const double nano =
+        params_.nJPerUopLsd * static_cast<double>(delta.uopsLsd) +
+        params_.nJPerUopDsb * static_cast<double>(delta.uopsDsb) +
+        params_.nJPerUopMite * static_cast<double>(delta.uopsMite) +
+        params_.nJPerLcpStallCycle *
+            static_cast<double>(delta.lcpStallCycles) +
+        params_.nJPerPathSwitch *
+            static_cast<double>(delta.dsbToMiteSwitches +
+                                delta.miteToDsbSwitches) +
+        params_.nJPerL1iMiss * static_cast<double>(delta.l1iMisses);
+    const double dynamic_uj = nano * 1e-3;
+    const double static_uj = params_.staticWatts * secondsOf(cycles) * 1e6;
+    return dynamic_uj + static_uj;
+}
+
+double
+EnergyModel::averagePowerWatts(const PerfCounters &delta,
+                               Cycles cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds = secondsOf(cycles);
+    return energyOf(delta, cycles) * 1e-6 / seconds;
+}
+
+} // namespace lf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Frontend energy model.
+ *
+ * Energy is a pure function of PerfCounters deltas: each delivered
+ * micro-op costs an amount that depends on its delivery path (MITE
+ * decode is by far the most expensive — that is the entire reason the
+ * DSB and LSD exist), plus per-event costs for LCP stalls, path
+ * switches and L1I misses, plus static power integrated over time.
+ *
+ * Default constants are calibrated so a Gold 6226-like core shows the
+ * package-power separations of Fig. 9: LSD streaming ~52 W, DSB
+ * delivery ~57 W, MITE+DSB ~65 W.
+ */
+
+#ifndef LF_POWER_ENERGY_MODEL_HH
+#define LF_POWER_ENERGY_MODEL_HH
+
+#include "common/types.hh"
+#include "frontend/perf_counters.hh"
+
+namespace lf {
+
+struct EnergyParams
+{
+    double staticWatts = 45.0;          //!< Baseline package power.
+    double nJPerUopLsd = 0.5;
+    double nJPerUopDsb = 0.9;
+    double nJPerUopMite = 6.0;
+    double nJPerLcpStallCycle = 2.0;
+    double nJPerPathSwitch = 8.0;
+    double nJPerL1iMiss = 25.0;
+};
+
+class EnergyModel
+{
+  public:
+    EnergyModel(const EnergyParams &params, double freq_ghz);
+
+    /** Energy in microjoules of a counter delta over @p cycles. */
+    MicroJoules energyOf(const PerfCounters &delta, Cycles cycles) const;
+
+    /** Average power in watts of a counter delta over @p cycles. */
+    double averagePowerWatts(const PerfCounters &delta,
+                             Cycles cycles) const;
+
+    /** Seconds corresponding to @p cycles at the core frequency. */
+    double secondsOf(Cycles cycles) const;
+
+    const EnergyParams &params() const { return params_; }
+    double freqGhz() const { return freqGhz_; }
+
+  private:
+    EnergyParams params_;
+    double freqGhz_;
+};
+
+} // namespace lf
+
+#endif // LF_POWER_ENERGY_MODEL_HH

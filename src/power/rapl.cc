@@ -1,0 +1,54 @@
+#include "power/rapl.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lf {
+
+RaplCounter::RaplCounter(const RaplParams &params, double freq_ghz,
+                         Rng rng)
+    : params_(params), rng_(rng)
+{
+    lf_assert(params.updateIntervalUs > 0.0, "bad RAPL interval");
+    intervalCycles_ = static_cast<Cycles>(
+        std::llround(params.updateIntervalUs * 1e-6 * freq_ghz * 1e9));
+    lf_assert(intervalCycles_ > 0, "RAPL interval rounds to zero cycles");
+}
+
+void
+RaplCounter::accumulate(MicroJoules energy, Cycles now)
+{
+    lf_assert(now >= lastAccumulateCycle_,
+              "RAPL accumulate must move forward in time");
+    lf_assert(energy >= 0.0, "negative energy");
+
+    // Refresh the visible counter at every interval boundary crossed,
+    // attributing energy linearly across the accumulation span.
+    const Cycles span = now - lastAccumulateCycle_;
+    Cycles boundary =
+        (lastAccumulateCycle_ / intervalCycles_ + 1) * intervalCycles_;
+    while (boundary <= now) {
+        const double fraction = span == 0 ? 1.0
+            : static_cast<double>(boundary - lastAccumulateCycle_) /
+                static_cast<double>(span);
+        visibleEnergy_ = trueEnergy_ + energy * fraction;
+        lastRefreshCycle_ = boundary;
+        boundary += intervalCycles_;
+    }
+    trueEnergy_ += energy;
+    lastAccumulateCycle_ = now;
+}
+
+MicroJoules
+RaplCounter::read(Cycles now)
+{
+    // Software can read at any time but only sees the last refresh.
+    (void)now;
+    const double quantum = params_.quantumMicroJoules;
+    double value = std::floor(visibleEnergy_ / quantum) * quantum;
+    value += rng_.gaussian(0.0, params_.noiseStddevMicroJoules);
+    return value < 0.0 ? 0.0 : value;
+}
+
+} // namespace lf

@@ -1,0 +1,153 @@
+#include "sim/core.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+Core::Core(const CpuModel &model, std::uint64_t seed)
+    : model_(model), engine_(model.frontend), backend_(&engine_),
+      rng_(seed ^ 0x5eedc0de12345678ULL),
+      energyModel_(model.energy, model.freqGhz),
+      rapl_(model.rapl, model.freqGhz, Rng(seed ^ 0x4a91ULL))
+{
+}
+
+void
+Core::setProgram(ThreadId tid, const Program *program)
+{
+    engine_.setProgram(tid, program);
+    const bool both = engine_.threadHasProgram(0) &&
+        engine_.threadHasProgram(1);
+    engine_.setPartitioned(model_.smtEnabled && both);
+}
+
+void
+Core::clearProgram(ThreadId tid)
+{
+    engine_.clearProgram(tid);
+    engine_.setPartitioned(false);
+}
+
+void
+Core::tick()
+{
+    engine_.tick();
+    backend_.tick();
+}
+
+void
+Core::runCycles(Cycles cycles)
+{
+    for (Cycles i = 0; i < cycles; ++i)
+        tick();
+}
+
+Cycles
+Core::runUntilRetired(ThreadId tid, std::uint64_t insts,
+                      Cycles max_cycles)
+{
+    const std::uint64_t target =
+        engine_.counters(tid).retiredInsts + insts;
+    const Cycles start = cycle();
+    while (engine_.counters(tid).retiredInsts < target) {
+        if (cycle() - start >= max_cycles) {
+            lf_panic("runUntilRetired: thread %d stuck after %llu cycles"
+                     " (%llu/%llu insts)", tid,
+                     static_cast<unsigned long long>(max_cycles),
+                     static_cast<unsigned long long>(
+                         engine_.counters(tid).retiredInsts),
+                     static_cast<unsigned long long>(target));
+        }
+        if (!engine_.threadRunnable(tid) &&
+            engine_.idqOccupancy(tid) == 0) {
+            lf_panic("runUntilRetired: thread %d halted before reaching"
+                     " the retirement target", tid);
+        }
+        tick();
+    }
+    return cycle() - start;
+}
+
+double
+Core::noisyMeasurement(double true_cycles)
+{
+    const double sigma = model_.noise.stddevCycles +
+        model_.noise.jitterPerKcycle * true_cycles / 1000.0;
+    double measured = true_cycles +
+        static_cast<double>(model_.noise.tscOverhead) +
+        rng_.gaussian(0.0, sigma);
+    if (rng_.chance(model_.noise.spikeProb))
+        measured += rng_.uniform(0.5, 1.5) * model_.noise.spikeCycles;
+    return measured < 0.0 ? 0.0 : measured;
+}
+
+double
+Core::timedRun(ThreadId tid, std::uint64_t insts)
+{
+    const Cycles elapsed = runUntilRetired(tid, insts);
+    return noisyMeasurement(static_cast<double>(elapsed));
+}
+
+double
+Core::secondsOf(double cycles) const
+{
+    return cycles / (model_.freqGhz * 1e9);
+}
+
+void
+Core::syncRaplEnergy()
+{
+    PerfCounters combined_delta;
+    for (int tid = 0; tid < FrontendEngine::kNumThreads; ++tid) {
+        const PerfCounters delta = engine_.counters(tid).delta(
+            raplSnapshot_[static_cast<std::size_t>(tid)]);
+        combined_delta.uopsMite += delta.uopsMite;
+        combined_delta.uopsDsb += delta.uopsDsb;
+        combined_delta.uopsLsd += delta.uopsLsd;
+        combined_delta.lcpStallCycles += delta.lcpStallCycles;
+        combined_delta.dsbToMiteSwitches += delta.dsbToMiteSwitches;
+        combined_delta.miteToDsbSwitches += delta.miteToDsbSwitches;
+        combined_delta.l1iMisses += delta.l1iMisses;
+        raplSnapshot_[static_cast<std::size_t>(tid)] =
+            engine_.counters(tid);
+    }
+    const Cycles span = cycle() - raplSyncCycle_;
+    if (span > 0) {
+        rapl_.accumulate(energyModel_.energyOf(combined_delta, span),
+                         cycle());
+        raplSyncCycle_ = cycle();
+    }
+}
+
+MicroJoules
+Core::readRapl()
+{
+    syncRaplEnergy();
+    return rapl_.read(cycle());
+}
+
+void
+Core::enclaveTransition(ThreadId tid)
+{
+    const double jitter =
+        rng_.gaussian(0.0, model_.sgx.entryJitterStddev);
+    double cost = static_cast<double>(model_.sgx.entryCycles) + jitter;
+    if (cost < 0.0)
+        cost = 0.0;
+    engine_.flushThreadFrontend(tid);
+    runCycles(static_cast<Cycles>(cost));
+}
+
+std::uint64_t
+Core::retiredInsts(ThreadId tid) const
+{
+    return engine_.counters(tid).retiredInsts;
+}
+
+const PerfCounters &
+Core::counters(ThreadId tid) const
+{
+    return engine_.counters(tid);
+}
+
+} // namespace lf

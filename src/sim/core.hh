@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Core: one simulated physical core (frontend + backend + 2 hardware
+ * threads) plus the measurement facilities the attacks use — a noisy
+ * TSC and a simulated RAPL energy counter.
+ *
+ * The Core also owns the SMT partition policy: the DSB/LSD become
+ * partitioned exactly while *both* hardware threads have a program
+ * bound (and the model has SMT enabled). Binding/unbinding a sender
+ * program therefore toggles partitioning — the observable the MT
+ * attacks encode into.
+ */
+
+#ifndef LF_SIM_CORE_HH
+#define LF_SIM_CORE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "backend/backend.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "frontend/engine.hh"
+#include "power/energy_model.hh"
+#include "power/rapl.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+
+class Core
+{
+  public:
+    explicit Core(const CpuModel &model, std::uint64_t seed = 1);
+
+    const CpuModel &model() const { return model_; }
+    FrontendEngine &frontend() { return engine_; }
+    const FrontendEngine &frontend() const { return engine_; }
+    Rng &rng() { return rng_; }
+
+    /** @name Thread control (updates SMT partitioning) */
+    /// @{
+    void setProgram(ThreadId tid, const Program *program);
+    void clearProgram(ThreadId tid);
+    /// @}
+
+    /** @name Simulation advance */
+    /// @{
+    void tick();
+    void runCycles(Cycles cycles);
+
+    /**
+     * Run the whole core until thread @p tid retires @p insts more
+     * instructions (the sibling thread co-executes). Returns the
+     * elapsed cycles. Fatal if @p max_cycles elapse first (deadlock
+     * guard).
+     */
+    Cycles runUntilRetired(ThreadId tid, std::uint64_t insts,
+                           Cycles max_cycles = 50'000'000);
+    /// @}
+
+    Cycles cycle() const { return engine_.cycle(); }
+
+    /** @name Timing measurement (the attacker's rdtscp) */
+    /// @{
+    /**
+     * Timed run: like runUntilRetired but returns the *measured*
+     * duration in cycles — true cycles plus the TSC read overhead,
+     * Gaussian jitter, and occasional OS-noise spikes of the CPU
+     * model. This is what attack receivers observe.
+     */
+    double timedRun(ThreadId tid, std::uint64_t insts);
+
+    /** Apply the measurement noise model to a true cycle count. */
+    double noisyMeasurement(double true_cycles);
+
+    /** Seconds corresponding to @p cycles on this model. */
+    double secondsOf(double cycles) const;
+    /// @}
+
+    /** @name Energy / RAPL */
+    /// @{
+    const EnergyModel &energyModel() const { return energyModel_; }
+
+    /**
+     * Read the simulated RAPL package-energy counter (microjoules).
+     * Integrates the energy of both threads' activity since the last
+     * read into the counter first.
+     */
+    MicroJoules readRapl();
+    /// @}
+
+    /** @name SGX (used by the sgx module) */
+    /// @{
+    /** Charge an enclave entry/exit: advances time and flushes the
+     *  thread's pipeline-local frontend state. */
+    void enclaveTransition(ThreadId tid);
+    /// @}
+
+    /** Retired instructions of @p tid so far. */
+    std::uint64_t retiredInsts(ThreadId tid) const;
+
+    /** Counter snapshot for @p tid. */
+    const PerfCounters &counters(ThreadId tid) const;
+
+  private:
+    void syncRaplEnergy();
+
+    CpuModel model_;
+    FrontendEngine engine_;
+    Backend backend_;
+    Rng rng_;
+    EnergyModel energyModel_;
+    RaplCounter rapl_;
+
+    /** Counter snapshots at the last RAPL energy sync. */
+    PerfCounters raplSnapshot_[FrontendEngine::kNumThreads];
+    Cycles raplSyncCycle_ = 0;
+};
+
+} // namespace lf
+
+#endif // LF_SIM_CORE_HH

@@ -1,0 +1,129 @@
+#include "sim/cpu_model.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+namespace {
+
+CpuModel
+makeGold6226()
+{
+    CpuModel m;
+    m.name = "Gold 6226";
+    m.microarchitecture = "Cascade Lake";
+    m.cores = 12;
+    m.freqGhz = 2.7;
+    m.smtEnabled = true;
+    m.frontend.lsdEnabled = true;
+    // Busy departmental server: the noisiest machine in the study.
+    m.noise = {5.0, 0.02, 160.0, 150, 180, 5.0};
+    m.sgx.supported = false;
+    return m;
+}
+
+CpuModel
+makeXeonE2174G()
+{
+    CpuModel m;
+    m.name = "E-2174G";
+    m.microarchitecture = "Coffee Lake";
+    m.cores = 4;
+    m.freqGhz = 3.8;
+    m.smtEnabled = true;
+    m.frontend.lsdEnabled = false; // LSD fused off on this machine
+    m.noise = {3.0, 0.010, 120.0, 118, 95, 2.0};
+    m.sgx.supported = true;
+    return m;
+}
+
+CpuModel
+makeXeonE2286G()
+{
+    CpuModel m;
+    m.name = "E-2286G";
+    m.microarchitecture = "Coffee Lake";
+    m.cores = 6;
+    m.freqGhz = 4.0;
+    m.smtEnabled = true;
+    m.frontend.lsdEnabled = false; // LSD fused off on this machine
+    m.noise = {3.2, 0.010, 120.0, 108, 90, 2.2};
+    m.sgx.supported = true;
+    return m;
+}
+
+CpuModel
+makeXeonE2288G()
+{
+    CpuModel m;
+    m.name = "E-2288G";
+    m.microarchitecture = "Coffee Lake";
+    m.cores = 8;
+    m.freqGhz = 3.7;
+    m.smtEnabled = false; // Azure instance: hyper-threading disabled
+    m.frontend.lsdEnabled = true;
+    // Quietest machine in the study -> best rates / lowest errors.
+    m.noise = {1.8, 0.004, 100.0, 75, 70, 1.2};
+    m.sgx.supported = true;
+    return m;
+}
+
+} // namespace
+
+const CpuModel &
+gold6226()
+{
+    static const CpuModel model = makeGold6226();
+    return model;
+}
+
+const CpuModel &
+xeonE2174G()
+{
+    static const CpuModel model = makeXeonE2174G();
+    return model;
+}
+
+const CpuModel &
+xeonE2286G()
+{
+    static const CpuModel model = makeXeonE2286G();
+    return model;
+}
+
+const CpuModel &
+xeonE2288G()
+{
+    static const CpuModel model = makeXeonE2288G();
+    return model;
+}
+
+std::vector<const CpuModel *>
+allCpuModels()
+{
+    return {&gold6226(), &xeonE2174G(), &xeonE2286G(), &xeonE2288G()};
+}
+
+std::vector<const CpuModel *>
+smtCpuModels()
+{
+    return {&gold6226(), &xeonE2174G(), &xeonE2286G()};
+}
+
+std::vector<const CpuModel *>
+sgxCpuModels()
+{
+    return {&xeonE2174G(), &xeonE2286G(), &xeonE2288G()};
+}
+
+const CpuModel &
+cpuModelByName(const std::string &name)
+{
+    for (const CpuModel *model : allCpuModels()) {
+        if (model->name == name)
+            return *model;
+    }
+    lf_fatal("unknown CPU model '%s'", name.c_str());
+}
+
+} // namespace lf

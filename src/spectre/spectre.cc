@@ -1,0 +1,492 @@
+#include "spectre/spectre.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/mix_block.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+
+namespace {
+
+constexpr ThreadId kThread = 0;
+
+/** Stride between victim data lines giving distinct L1D sets while
+ *  staying page-aliased (4096 + 64). */
+constexpr Addr kDataStride = 4160;
+
+} // namespace
+
+const char *
+toString(SpectreVariant variant)
+{
+    switch (variant) {
+      case SpectreVariant::Frontend: return "Frontend";
+      case SpectreVariant::L1iFlushReload: return "L1I F+R";
+      case SpectreVariant::L1iPrimeProbe: return "L1I P+P";
+      case SpectreVariant::MemFlushReload: return "MEM F+R";
+      case SpectreVariant::L1dFlushReload: return "L1D F+R";
+      case SpectreVariant::L1dLru: return "L1D LRU";
+    }
+    return "?";
+}
+
+std::vector<SpectreVariant>
+allSpectreVariants()
+{
+    return {SpectreVariant::MemFlushReload,
+            SpectreVariant::L1dFlushReload,
+            SpectreVariant::L1dLru,
+            SpectreVariant::L1iFlushReload,
+            SpectreVariant::L1iPrimeProbe,
+            SpectreVariant::Frontend};
+}
+
+SpectreAttack::SpectreAttack(Core &core, const SpectreConfig &config)
+    : core_(core), cfg_(config)
+{
+    lf_assert(cfg_.numValues >= 2 && cfg_.numValues <= 32,
+              "numValues must be in [2, 32]");
+}
+
+SpectreAttack::~SpectreAttack() = default;
+
+Addr
+SpectreAttack::gadgetAddr(int value, SpectreVariant variant) const
+{
+    // Frontend variant: DSB set == value (32-byte stride).
+    // L1I variants: distinct L1I set per value (64-byte stride).
+    const Addr stride = variant == SpectreVariant::Frontend ? 32 : 64;
+    return cfg_.gadgetBase + static_cast<Addr>(value) * stride;
+}
+
+Addr
+SpectreAttack::dataAddr(int value) const
+{
+    return cfg_.dataBase + static_cast<Addr>(value) * kDataStride;
+}
+
+void
+SpectreAttack::buildVictim(SpectreVariant variant)
+{
+    // Victim: a trained-taken bounds check. Taken -> the disclosure
+    // gadget region (architectural path during training); not taken ->
+    // immediate return. During the attack the condition is false but
+    // the predictor still steers the frontend into the gadget.
+    Assembler as(cfg_.gadgetBase - 64);
+    branchAddr_ = as.jcc(gadgetAddr(0, variant), /*cond_id=*/0);
+    as.halt(); // fall-through: bounds check failed
+
+    // Disclosure gadget array: one mix block per 5-bit value, each
+    // jumping to a common exit stub.
+    const Addr exit_stub =
+        gadgetAddr(cfg_.numValues, variant) + 256;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        as.org(gadgetAddr(v, variant));
+        for (int i = 0; i < 4; ++i)
+            as.mov();
+        as.jmp(exit_stub);
+    }
+    as.org(exit_stub);
+    as.halt();
+
+    victim_ = as.take();
+    victim_.setEntry(branchAddr_);
+    victim_.setCondFn([this](int, std::uint64_t) {
+        return condInBounds_;
+    });
+
+    gadgetRunner_ = std::make_unique<Program>(victim_);
+}
+
+void
+SpectreAttack::buildProbes()
+{
+    // Frontend probes: an 8-way mix-block chain per DSB set.
+    probeChains_.clear();
+    probeChains_.reserve(static_cast<std::size_t>(cfg_.numValues));
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        std::vector<BlockSpec> specs;
+        for (int w = 0; w < 8; ++w)
+            specs.push_back({w, false});
+        probeChains_.push_back(
+            buildMixBlockChain(cfg_.probeBase, v, specs).program);
+    }
+
+    // L1I prime chains: per value, 8 blocks aliasing the gadget's L1I
+    // set. Each block leads with an LCP'd add, which keeps the blocks
+    // out of the DSB so every pass genuinely exercises the L1I.
+    l1iPrimeChains_.clear();
+    l1iPrimeChains_.reserve(static_cast<std::size_t>(cfg_.numValues));
+    const Addr prime_base = cfg_.probeBase + 0x400000;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        Assembler as(prime_base);
+        std::vector<Addr> starts;
+        for (int w = 0; w < 8; ++w) {
+            starts.push_back(prime_base + static_cast<Addr>(v) * 64 +
+                             static_cast<Addr>(w) * 4096);
+        }
+        for (std::size_t w = 0; w < starts.size(); ++w) {
+            as.org(starts[w]);
+            as.addLcp();
+            as.add();
+            as.jmp(w + 1 < starts.size() ? starts[w + 1] : starts[0]);
+        }
+        Program program = as.take();
+        program.setEntry(starts[0]);
+        l1iPrimeChains_.push_back(std::move(program));
+    }
+}
+
+void
+SpectreAttack::trainPredictor()
+{
+    condInBounds_ = true;
+    for (int i = 0; i < cfg_.trainingRuns; ++i) {
+        core_.setProgram(kThread, &victim_);
+        // jcc + 4 mov + jmp retire before the exit stub halts.
+        core_.runUntilRetired(kThread, 6);
+    }
+}
+
+void
+SpectreAttack::victimInvocation(int secret, SpectreVariant variant)
+{
+    condInBounds_ = false;
+    core_.setProgram(kThread, &victim_);
+
+    // The mispredicted frontend steers into the gadget: transient
+    // state update without retirement.
+    switch (variant) {
+      case SpectreVariant::Frontend:
+      case SpectreVariant::L1iFlushReload:
+      case SpectreVariant::L1iPrimeProbe:
+        core_.frontend().speculativeFetch(
+            kThread, gadgetAddr(secret, variant), 3);
+        break;
+      case SpectreVariant::MemFlushReload:
+      case SpectreVariant::L1dFlushReload:
+      case SpectreVariant::L1dLru:
+        l1d_.load(dataAddr(secret));
+        break;
+    }
+    // The branch now resolves not-taken (mispredict penalty charged by
+    // the engine) and the victim returns.
+    core_.runUntilRetired(kThread, 1);
+}
+
+std::vector<double>
+SpectreAttack::probeFrontendTimings()
+{
+    // Two probe iterations per set: with the transiently inserted
+    // gadget line present, the 9-line working set LRU-thrashes the
+    // 8-way set for the whole first pass — a large MITE-time
+    // signature.
+    std::vector<double> timings;
+    timings.reserve(static_cast<std::size_t>(cfg_.numValues));
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        core_.setProgram(kThread, &probeChains_[static_cast<size_t>(v)]);
+        timings.push_back(core_.timedRun(kThread, 2 * 8 * 5));
+    }
+    return timings;
+}
+
+int
+SpectreAttack::probeFrontend()
+{
+    // Classify by deviation from the calibrated per-set baseline: the
+    // victim's *static* frontend footprint (its bounds-check code
+    // occupies one DSB set on every invocation) is the same in the
+    // baseline and cancels out; only the secret-dependent set remains.
+    const std::vector<double> timings = probeFrontendTimings();
+    int best = 0;
+    double best_dev = -1e300;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        const double base = frontendBaseline_.empty()
+            ? 0.0 : frontendBaseline_[static_cast<std::size_t>(v)];
+        const double dev = timings[static_cast<std::size_t>(v)] - base;
+        if (dev > best_dev) {
+            best_dev = dev;
+            best = v;
+        }
+    }
+    return best;
+}
+
+void
+SpectreAttack::calibrateFrontendBaseline()
+{
+    // Baseline rounds: everything the attack does except the
+    // out-of-bounds (transient) part. The victim is invoked in bounds
+    // so its static code footprint lands in the DSB exactly as it
+    // will during the attack.
+    constexpr int kCalibrationRounds = 4;
+    frontendBaseline_.assign(static_cast<std::size_t>(cfg_.numValues),
+                             0.0);
+    for (int round = 0; round < kCalibrationRounds; ++round) {
+        trainPredictor();
+        primeFrontend();
+        condInBounds_ = false;
+        core_.setProgram(kThread, &victim_);
+        core_.runUntilRetired(kThread, 1);
+        const std::vector<double> timings = probeFrontendTimings();
+        for (int v = 0; v < cfg_.numValues; ++v) {
+            frontendBaseline_[static_cast<std::size_t>(v)] +=
+                timings[static_cast<std::size_t>(v)] /
+                kCalibrationRounds;
+        }
+    }
+}
+
+void
+SpectreAttack::primeFrontend()
+{
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        core_.setProgram(kThread, &probeChains_[static_cast<size_t>(v)]);
+        core_.runUntilRetired(kThread, 2 * 8 * 5);
+    }
+}
+
+void
+SpectreAttack::primeL1i()
+{
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        core_.setProgram(kThread,
+                         &l1iPrimeChains_[static_cast<size_t>(v)]);
+        core_.runUntilRetired(kThread, 8 * 3);
+    }
+}
+
+int
+SpectreAttack::probeL1iFlushReload()
+{
+    int best = 0;
+    double best_time = -1.0;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        gadgetRunner_->setEntry(
+            gadgetAddr(v, SpectreVariant::L1iFlushReload));
+        core_.setProgram(kThread, gadgetRunner_.get());
+        const double t = core_.timedRun(kThread, 5);
+        if (best_time < 0.0 || t < best_time) {
+            best_time = t;
+            best = v;
+        }
+    }
+    return best;
+}
+
+int
+SpectreAttack::probeL1iPrimeProbe()
+{
+    int best = 0;
+    double best_time = -1.0;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        core_.setProgram(kThread,
+                         &l1iPrimeChains_[static_cast<size_t>(v)]);
+        const double t = core_.timedRun(kThread, 8 * 3);
+        if (t > best_time) {
+            best_time = t;
+            best = v;
+        }
+    }
+    return best;
+}
+
+int
+SpectreAttack::probeMem(SpectreVariant variant, bool primed)
+{
+    (void)primed;
+    int best = 0;
+    double best_latency = -1.0;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        const auto res = l1d_.load(dataAddr(v));
+        const double lat = static_cast<double>(res.latency) +
+            core_.rng().gaussian(0.0, 1.0);
+        core_.runCycles(res.latency);
+        if (best_latency < 0.0 || lat < best_latency) {
+            best_latency = lat;
+            best = v;
+        }
+    }
+    (void)variant;
+    return best;
+}
+
+int
+SpectreAttack::probeL1dLru()
+{
+    const Addr lru_base = cfg_.dataBase + 0x200000;
+    int best = 0;
+    double best_latency = -1.0;
+    for (int v = 0; v < cfg_.numValues; ++v) {
+        // The LRU-position line is the one the victim's fill would
+        // have displaced.
+        const Addr probe_addr =
+            lru_base + static_cast<Addr>(v) * kDataStride;
+        const auto res = l1d_.load(probe_addr);
+        const double lat = static_cast<double>(res.latency) +
+            core_.rng().gaussian(0.0, 1.0);
+        core_.runCycles(res.latency);
+        if (lat > best_latency) {
+            best_latency = lat;
+            best = v;
+        }
+    }
+    return best;
+}
+
+void
+SpectreAttack::backgroundTraffic()
+{
+    // Ambient working-set loads of the surrounding application; these
+    // are the accesses the attack's misses dilute into.
+    const Addr hot_base = cfg_.dataBase + 0x800000;
+    for (int i = 0; i < cfg_.backgroundLoads; ++i)
+        l1d_.load(hot_base + static_cast<Addr>(i % 32) * 64);
+    core_.runCycles(static_cast<Cycles>(cfg_.backgroundLoads / 4));
+}
+
+SpectreResult
+SpectreAttack::run(SpectreVariant variant,
+                   const std::vector<int> &secrets)
+{
+    buildVictim(variant);
+    buildProbes();
+
+    l1d_.resetStats();
+    const PerfCounters before = core_.counters(kThread);
+
+    // Warm the structures common to every round.
+    const Addr lru_base = cfg_.dataBase + 0x200000;
+    switch (variant) {
+      case SpectreVariant::Frontend:
+        for (int pass = 0; pass < 2; ++pass)
+            probeFrontend();
+        break;
+      case SpectreVariant::L1iPrimeProbe:
+        probeL1iPrimeProbe();
+        break;
+      case SpectreVariant::L1dLru:
+      case SpectreVariant::L1dFlushReload:
+      case SpectreVariant::MemFlushReload:
+        for (int v = 0; v < cfg_.numValues; ++v)
+            l1d_.load(dataAddr(v));
+        break;
+      default:
+        break;
+    }
+
+    if (variant == SpectreVariant::Frontend)
+        calibrateFrontendBaseline();
+
+    SpectreResult result;
+    result.variant = variant;
+    for (int secret : secrets) {
+        lf_assert(secret >= 0 && secret < cfg_.numValues,
+                  "secret %d out of range", secret);
+        std::vector<int> votes(static_cast<std::size_t>(cfg_.numValues),
+                               0);
+        for (int rep = 0; rep < cfg_.attackRepetitions; ++rep) {
+        // Train first: the in-bounds training runs architecturally
+        // execute the benign gadget, so the prime/flush phase below
+        // must come after to clear that pollution.
+        trainPredictor();
+        // Per-round setup phase.
+        switch (variant) {
+          case SpectreVariant::Frontend:
+            primeFrontend();
+            break;
+          case SpectreVariant::L1iPrimeProbe:
+            primeL1i();
+            break;
+          default:
+            break;
+        }
+        switch (variant) {
+          case SpectreVariant::L1iFlushReload:
+            // clflush of shared code drops both the L1I line and the
+            // derived micro-op cache line.
+            for (int v = 0; v < cfg_.numValues; ++v) {
+                const Addr addr = gadgetAddr(v, variant);
+                core_.frontend().l1i().flushLine(addr);
+                core_.frontend().dsb().flushKey(kThread, addr);
+                core_.runCycles(2);
+            }
+            break;
+          case SpectreVariant::MemFlushReload:
+            for (int v = 0; v < cfg_.numValues; ++v) {
+                l1d_.clflush(dataAddr(v));
+                core_.runCycles(2);
+            }
+            break;
+          case SpectreVariant::L1dFlushReload:
+            // Evict candidates via conflicting fills (no clflush).
+            for (int v = 0; v < cfg_.numValues; ++v) {
+                for (int w = 0; w < 8; ++w) {
+                    l1d_.load(lru_base + 0x100000 +
+                              static_cast<Addr>(v) * kDataStride +
+                              static_cast<Addr>(w) * 4096);
+                }
+            }
+            break;
+          case SpectreVariant::L1dLru:
+            for (int v = 0; v < cfg_.numValues; ++v) {
+                for (int w = 0; w < 8; ++w) {
+                    l1d_.load(lru_base +
+                              static_cast<Addr>(v) * kDataStride +
+                              static_cast<Addr>(w) * 4096);
+                }
+            }
+            break;
+          default:
+            break;
+        }
+
+        victimInvocation(secret, variant);
+
+        int round_guess = -1;
+        switch (variant) {
+          case SpectreVariant::Frontend:
+            round_guess = probeFrontend();
+            break;
+          case SpectreVariant::L1iFlushReload:
+            round_guess = probeL1iFlushReload();
+            break;
+          case SpectreVariant::L1iPrimeProbe:
+            round_guess = probeL1iPrimeProbe();
+            break;
+          case SpectreVariant::MemFlushReload:
+            round_guess = probeMem(variant, false);
+            break;
+          case SpectreVariant::L1dFlushReload:
+            round_guess = probeMem(variant, true);
+            break;
+          case SpectreVariant::L1dLru:
+            round_guess = probeL1dLru();
+            break;
+        }
+        ++votes[static_cast<std::size_t>(round_guess)];
+        backgroundTraffic();
+        } // repetitions
+
+        const int recovered = static_cast<int>(std::distance(
+            votes.begin(), std::max_element(votes.begin(), votes.end())));
+        ++result.trials;
+        if (recovered == secret)
+            ++result.correct;
+    }
+
+    const PerfCounters delta = core_.counters(kThread).delta(before);
+    result.l1Accesses = delta.l1iAccesses + l1d_.accesses();
+    result.l1Misses = delta.l1iMisses + l1d_.misses();
+    result.l1MissRate = result.l1Accesses == 0 ? 0.0
+        : static_cast<double>(result.l1Misses) /
+            static_cast<double>(result.l1Accesses);
+    result.accuracy = result.trials == 0 ? 0.0
+        : static_cast<double>(result.correct) /
+            static_cast<double>(result.trials);
+    return result;
+}
+
+} // namespace lf

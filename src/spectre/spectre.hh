@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Spectre v1 variants (Sec. IX, Table VII).
+ *
+ * In-domain threat model: attacker and victim share one thread (e.g. a
+ * sandbox). The victim gadget is a bounds check guarding a secret-
+ * indexed access; after training the conditional predictor, an
+ * out-of-bounds call transiently executes the disclosure gadget, which
+ * updates *frontend* (or cache) state without retiring. The secret is
+ * a 5-bit chunk (0..31) selecting which DSB set / cache line the
+ * transient access touches.
+ *
+ * Six disclosure channels are implemented for comparison:
+ *  - Frontend (this paper): transient *instruction fetch* of a mix
+ *    block mapping to DSB set == secret; the attacker probes its own
+ *    8-way chains per set and looks for the set with a micro-op cache
+ *    refill. Leaves no data-cache footprint and (after warmup) no L1I
+ *    footprint.
+ *  - L1I Flush+Reload and L1I Prime+Probe: instruction-cache variants.
+ *  - MEM Flush+Reload, L1D Flush+Reload, L1D LRU: data-cache baselines
+ *    ([30] in the paper).
+ *
+ * The headline metric is the L1 miss rate each attack induces
+ * (Table VII): the frontend channel's is the lowest.
+ */
+
+#ifndef LF_SPECTRE_SPECTRE_HH
+#define LF_SPECTRE_SPECTRE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/l1d_cache.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/core.hh"
+
+namespace lf {
+
+enum class SpectreVariant
+{
+    Frontend,
+    L1iFlushReload,
+    L1iPrimeProbe,
+    MemFlushReload,
+    L1dFlushReload,
+    L1dLru,
+};
+
+const char *toString(SpectreVariant variant);
+
+/** All six variants in Table VII column order. */
+std::vector<SpectreVariant> allSpectreVariants();
+
+struct SpectreConfig
+{
+    int numValues = 32;          //!< 5-bit secret chunks.
+    Addr gadgetBase = 0x1000000; //!< Victim disclosure gadget array.
+    Addr probeBase = 0x2000000;  //!< Attacker probe chain area.
+    Addr dataBase = 0x4000000;   //!< Victim data array (L1D variants).
+    /** Ordinary application loads per recovered chunk — the ambient
+     *  working-set traffic the attack's misses are diluted into when
+     *  computing the L1 miss rate. */
+    int backgroundLoads = 1500;
+    int trainingRuns = 4;        //!< Predictor training executions.
+    /** Attack rounds per secret; the recovered value is the majority
+     *  vote (robust against timer-noise spikes). */
+    int attackRepetitions = 5;
+};
+
+struct SpectreResult
+{
+    SpectreVariant variant;
+    std::size_t trials = 0;
+    std::size_t correct = 0;
+    double accuracy = 0.0;
+    std::uint64_t l1Accesses = 0; //!< L1I + L1D accesses.
+    std::uint64_t l1Misses = 0;   //!< L1I + L1D misses.
+    double l1MissRate = 0.0;
+};
+
+/**
+ * One attack instance bound to a Core. run() recovers each secret in
+ * @p secrets once and reports accuracy and the induced L1 miss rate.
+ */
+class SpectreAttack
+{
+  public:
+    SpectreAttack(Core &core, const SpectreConfig &config = {});
+    ~SpectreAttack();
+
+    SpectreResult run(SpectreVariant variant,
+                      const std::vector<int> &secrets);
+
+  private:
+    struct CounterBaseline
+    {
+        std::uint64_t l1iAccesses = 0;
+        std::uint64_t l1iMisses = 0;
+    };
+
+    void buildVictim(SpectreVariant variant);
+    void buildProbes();
+    void trainPredictor();
+    void victimInvocation(int secret, SpectreVariant variant);
+    std::vector<double> probeFrontendTimings();
+    int probeFrontend();
+    void calibrateFrontendBaseline();
+    void primeFrontend();
+    void primeL1i();
+    int probeL1iFlushReload();
+    int probeL1iPrimeProbe();
+    int probeMem(SpectreVariant variant, bool primed);
+    int probeL1dLru();
+    void backgroundTraffic();
+    Addr gadgetAddr(int value, SpectreVariant variant) const;
+    Addr dataAddr(int value) const;
+
+    Core &core_;
+    SpectreConfig cfg_;
+    L1dCache l1d_;
+
+    Program victim_;
+    Addr branchAddr_ = 0;
+    bool condInBounds_ = true;
+    std::vector<Program> probeChains_; //!< Frontend: one per set.
+    std::vector<double> frontendBaseline_; //!< Per-set calibration.
+    std::vector<Program> l1iPrimeChains_;
+    std::unique_ptr<Program> gadgetRunner_; //!< For L1I F+R probing.
+};
+
+} // namespace lf
+
+#endif // LF_SPECTRE_SPECTRE_HH

@@ -1,0 +1,95 @@
+/** @file Tests for the Wagner–Fischer edit distance. */
+
+#include <gtest/gtest.h>
+
+#include "common/edit_distance.hh"
+#include "common/message.hh"
+#include "common/rng.hh"
+
+namespace lf {
+namespace {
+
+TEST(EditDistance, KnownCases)
+{
+    EXPECT_EQ(editDistance(std::string("kitten"),
+                           std::string("sitting")), 3u);
+    EXPECT_EQ(editDistance(std::string("flaw"), std::string("lawn")),
+              2u);
+    EXPECT_EQ(editDistance(std::string(""), std::string("abc")), 3u);
+    EXPECT_EQ(editDistance(std::string("abc"), std::string("")), 3u);
+    EXPECT_EQ(editDistance(std::string(""), std::string("")), 0u);
+}
+
+TEST(EditDistance, IdentityIsZero)
+{
+    EXPECT_EQ(editDistance(std::string("same"), std::string("same")),
+              0u);
+}
+
+TEST(EditDistance, BitVectors)
+{
+    const std::vector<bool> a = {1, 0, 1, 1};
+    const std::vector<bool> b = {1, 1, 1, 1};
+    EXPECT_EQ(editDistance(a, b), 1u);
+}
+
+TEST(EditDistance, Symmetry)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto a = makeMessage(MessagePattern::Random, 20, rng);
+        auto b = makeMessage(MessagePattern::Random, 25, rng);
+        EXPECT_EQ(editDistance(a, b), editDistance(b, a));
+    }
+}
+
+TEST(EditDistance, BoundedByLongerLength)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto a = makeMessage(MessagePattern::Random, 30, rng);
+        auto b = makeMessage(MessagePattern::Random, 18, rng);
+        EXPECT_LE(editDistance(a, b), 30u);
+        EXPECT_GE(editDistance(a, b), 12u); // length difference
+    }
+}
+
+TEST(EditDistance, TriangleInequality)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 30; ++trial) {
+        auto a = makeMessage(MessagePattern::Random, 16, rng);
+        auto b = makeMessage(MessagePattern::Random, 16, rng);
+        auto c = makeMessage(MessagePattern::Random, 16, rng);
+        EXPECT_LE(editDistance(a, c),
+                  editDistance(a, b) + editDistance(b, c));
+    }
+}
+
+TEST(BitErrorRate, Basics)
+{
+    const std::vector<bool> sent = {1, 0, 1, 0};
+    EXPECT_DOUBLE_EQ(bitErrorRate(sent, sent), 0.0);
+    EXPECT_DOUBLE_EQ(bitErrorRate(sent, {1, 0, 1, 1}), 0.25);
+    EXPECT_DOUBLE_EQ(bitErrorRate({}, {}), 0.0);
+}
+
+class SingleFlipSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SingleFlipSweep, OneFlipCostsOne)
+{
+    Rng rng(8);
+    auto a = makeMessage(MessagePattern::Random, 32, rng);
+    auto b = a;
+    b[static_cast<std::size_t>(GetParam())] =
+        !b[static_cast<std::size_t>(GetParam())];
+    EXPECT_EQ(editDistance(a, b), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, SingleFlipSweep,
+                         ::testing::Range(0, 32, 3));
+
+} // namespace
+} // namespace lf

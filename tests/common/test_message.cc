@@ -1,0 +1,67 @@
+/** @file Tests for message patterns and bit-string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/message.hh"
+
+namespace lf {
+namespace {
+
+TEST(Message, AllZerosAndOnes)
+{
+    Rng rng(1);
+    const auto zeros = makeMessage(MessagePattern::AllZeros, 16, rng);
+    const auto ones = makeMessage(MessagePattern::AllOnes, 16, rng);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_FALSE(zeros[static_cast<std::size_t>(i)]);
+        EXPECT_TRUE(ones[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Message, Alternating)
+{
+    Rng rng(1);
+    const auto msg = makeMessage(MessagePattern::Alternating, 8, rng);
+    const std::vector<bool> expect = {0, 1, 0, 1, 0, 1, 0, 1};
+    EXPECT_EQ(msg, expect);
+}
+
+TEST(Message, RandomIsBalancedish)
+{
+    Rng rng(2);
+    const auto msg = makeMessage(MessagePattern::Random, 10000, rng);
+    int ones = 0;
+    for (bool b : msg)
+        ones += b;
+    EXPECT_NEAR(static_cast<double>(ones) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Message, BitStringRoundTrip)
+{
+    const std::vector<bool> bits = {1, 0, 0, 1, 1};
+    EXPECT_EQ(toBitString(bits), "10011");
+    EXPECT_EQ(fromBitString("10011"), bits);
+}
+
+TEST(Message, TextRoundTrip)
+{
+    const std::string text = "leaky frontends!";
+    EXPECT_EQ(bitsToText(textToBits(text)), text);
+}
+
+TEST(Message, TextToBitsMsbFirst)
+{
+    const auto bits = textToBits("A"); // 0x41 = 01000001
+    const std::vector<bool> expect = {0, 1, 0, 0, 0, 0, 0, 1};
+    EXPECT_EQ(bits, expect);
+}
+
+TEST(Message, PatternNames)
+{
+    EXPECT_STREQ(toString(MessagePattern::AllZeros), "all-0s");
+    EXPECT_STREQ(toString(MessagePattern::Random), "random");
+    EXPECT_EQ(allMessagePatterns().size(), 4u);
+}
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,122 @@
+/** @file Unit and property tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace lf {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(5, 11);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 11u);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(10);
+    bool seen[4] = {false, false, false, false};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.uniformInt(0, 3)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / kN, 0.0, 0.02);
+    EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaling)
+{
+    Rng rng(12);
+    double sum = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(14);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 3);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, MeanOfUniformNearHalf)
+{
+    Rng rng(GetParam());
+    double sum = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1337, 99999,
+                                           0xdeadbeef, UINT64_MAX));
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,141 @@
+/** @file Tests for streaming statistics and histograms. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace lf {
+namespace {
+
+TEST(OnlineStats, Basics)
+{
+    OnlineStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined)
+{
+    OnlineStats a;
+    OnlineStats b;
+    OnlineStats all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.37;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, ResetClears)
+{
+    OnlineStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BinningAndDensity)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(0.9);
+    h.add(5.5);
+    h.add(-1.0);
+    h.add(20.0);
+    EXPECT_EQ(h.totalCount(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.4);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 12.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 18.0);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(1.0);
+    h.add(1.5);
+    const std::string out = h.render();
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(VectorStats, MeanMedianPercentile)
+{
+    const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0}), 1.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(VectorStats, Stddev)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Distance, Euclidean)
+{
+    EXPECT_DOUBLE_EQ(euclideanDistance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(euclideanDistance({1.0}, {1.0}), 0.0);
+}
+
+class HistogramSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>>
+{
+};
+
+TEST_P(HistogramSweep, AllSamplesAccounted)
+{
+    const auto [lo, hi, bins] = GetParam();
+    Histogram h(lo, hi, static_cast<std::size_t>(bins));
+    std::size_t inside = 0;
+    for (int i = -10; i < 110; ++i) {
+        const double v = lo + (hi - lo) * i / 100.0;
+        h.add(v);
+        if (v >= lo && v < hi)
+            ++inside;
+    }
+    std::size_t binned = 0;
+    for (std::size_t b = 0; b < h.numBins(); ++b)
+        binned += h.binCount(b);
+    EXPECT_EQ(binned, inside);
+    EXPECT_EQ(binned + h.underflow() + h.overflow(), h.totalCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, HistogramSweep,
+    ::testing::Values(std::make_tuple(0.0, 1.0, 4),
+                      std::make_tuple(-5.0, 5.0, 10),
+                      std::make_tuple(100.0, 200.0, 7),
+                      std::make_tuple(0.0, 1000.0, 100)));
+
+} // namespace
+} // namespace lf

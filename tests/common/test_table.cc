@@ -1,0 +1,51 @@
+/** @file Tests for table rendering and number formatting. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace lf {
+namespace {
+
+TEST(TextTable, RenderAligned)
+{
+    TextTable t("Title");
+    t.setHeader({"A", "Bee"});
+    t.addRow({"longcell", "x"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("| longcell | x   |"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"has,comma", "has\"quote"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(1.0, 0), "1");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.0268), "2.68%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(Format, Eng)
+{
+    EXPECT_EQ(formatEng(8.4e9), "8.4e9");
+    EXPECT_EQ(formatEng(0.0), "0");
+    EXPECT_EQ(formatEng(1.5e6), "1.5e6");
+}
+
+} // namespace
+} // namespace lf

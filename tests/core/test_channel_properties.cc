@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Property-style sweeps over the covert channels: the directions that
+ * must hold for any sane parameterization (more rounds -> same or
+ * better reliability; larger d -> larger eviction signal; faster
+ * clock -> higher rate; message content must round-trip).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/message.hh"
+#include "core/mt_channels.hh"
+#include "core/nonmt_channels.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+namespace {
+
+std::vector<bool>
+altMessage(std::size_t bits)
+{
+    Rng rng(1);
+    return makeMessage(MessagePattern::Alternating, bits, rng);
+}
+
+class EvictionDSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EvictionDSweep, SignalPositiveAndDecodableAtEveryD)
+{
+    // A 1-bit must always read *slower* than a 0-bit (evictions add
+    // MITE refills on top of the matched encode length), and the
+    // channel must decode reliably on a quiet machine for every d.
+    // Note the raw signal magnitude is not monotone in d: the fast
+    // variant's encode phase length scales with N+1-d and dominates
+    // at small d.
+    const int d = GetParam();
+    Core core(xeonE2288G(), 9); // quiet machine: clean means
+    ChannelConfig cfg;
+    cfg.d = d;
+    NonMtEvictionChannel channel(core, cfg);
+    const auto res = channel.transmit(altMessage(40));
+    EXPECT_GT(res.meanObs1 - res.meanObs0, 0.0);
+    EXPECT_LT(res.errorRate, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, EvictionDSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class RoundsSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoundsSweep, MoreRoundsNeverBreaksTheChannel)
+{
+    Core core(gold6226(), 10 + static_cast<unsigned>(GetParam()));
+    ChannelConfig cfg;
+    cfg.d = 6;
+    cfg.rounds = GetParam();
+    NonMtEvictionChannel channel(core, cfg);
+    const auto res = channel.transmit(altMessage(40));
+    EXPECT_LT(res.errorRate, 0.15) << "rounds=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, RoundsSweep,
+                         ::testing::Values(5, 10, 20, 40));
+
+TEST(ChannelProperties, RateScalesWithRounds)
+{
+    // Per-bit time is dominated by the rounds loop: quadrupling the
+    // rounds must cut the rate by roughly 2-4x.
+    auto rate_at = [](int rounds) {
+        Core core(xeonE2288G(), 21);
+        ChannelConfig cfg;
+        cfg.d = 6;
+        cfg.rounds = rounds;
+        NonMtEvictionChannel channel(core, cfg);
+        return channel.transmit(altMessage(40)).transmissionKbps;
+    };
+    const double r10 = rate_at(10);
+    const double r40 = rate_at(40);
+    EXPECT_GT(r10, 1.8 * r40);
+    EXPECT_LT(r10, 6.0 * r40);
+}
+
+TEST(ChannelProperties, FasterClockFasterChannel)
+{
+    // Identical microarchitecture + noise, different frequency.
+    CpuModel slow = xeonE2288G();
+    CpuModel fast = xeonE2288G();
+    slow.freqGhz = 2.0;
+    fast.freqGhz = 4.0;
+    auto rate_on = [](const CpuModel &model) {
+        Core core(model, 22);
+        ChannelConfig cfg;
+        cfg.d = 6;
+        NonMtEvictionChannel channel(core, cfg);
+        return channel.transmit(altMessage(40)).transmissionKbps;
+    };
+    EXPECT_NEAR(rate_on(fast) / rate_on(slow), 2.0, 0.2);
+}
+
+TEST(ChannelProperties, TextRoundTripsThroughTheChannel)
+{
+    Core core(xeonE2288G(), 23);
+    ChannelConfig cfg;
+    cfg.d = 6;
+    NonMtEvictionChannel channel(core, cfg);
+    const std::string text = "frontend";
+    const auto res = channel.transmit(textToBits(text));
+    EXPECT_EQ(bitsToText(res.received), text);
+}
+
+class PatternSweep : public ::testing::TestWithParam<MessagePattern>
+{
+};
+
+TEST_P(PatternSweep, NonMtEvictionHandlesEveryPattern)
+{
+    Core core(xeonE2288G(), 24);
+    ChannelConfig cfg;
+    cfg.d = 6;
+    NonMtEvictionChannel channel(core, cfg);
+    Rng rng(25);
+    const auto msg = makeMessage(GetParam(), 60, rng);
+    const auto res = channel.transmit(msg);
+    EXPECT_LT(res.errorRate, 0.1) << toString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, PatternSweep,
+    ::testing::ValuesIn(allMessagePatterns()),
+    [](const ::testing::TestParamInfo<MessagePattern> &info) {
+        std::string name = toString(info.param);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+class TargetSetSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TargetSetSweep, ChannelWorksOnAnySet)
+{
+    Core core(xeonE2288G(), 26);
+    ChannelConfig cfg;
+    cfg.d = 6;
+    cfg.targetSet = GetParam();
+    cfg.altSet = (GetParam() + 11) % 32;
+    NonMtEvictionChannel channel(core, cfg);
+    const auto res = channel.transmit(altMessage(40));
+    EXPECT_LT(res.errorRate, 0.1) << "set=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, TargetSetSweep,
+                         ::testing::Values(0, 1, 7, 15, 16, 23, 31));
+
+TEST(ChannelProperties, MtStepsScaleBitTime)
+{
+    auto rate_at = [](int steps) {
+        Core core(gold6226(), 27);
+        ChannelConfig cfg;
+        cfg.d = 6;
+        cfg.mtSteps = steps;
+        MtEvictionChannel channel(core, cfg);
+        return channel.transmit(altMessage(20)).transmissionKbps;
+    };
+    EXPECT_GT(rate_at(10), 1.5 * rate_at(40));
+}
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Integration tests for the covert channels: every channel family must
+ * transmit an alternating message with a usable error rate on every
+ * machine it applies to, with sane transmission rates; variants must
+ * order the way the paper's Table III orders them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/message.hh"
+#include "core/mt_channels.hh"
+#include "core/nonmt_channels.hh"
+#include "core/power_channels.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+namespace {
+
+std::vector<bool>
+message(std::size_t bits = 60)
+{
+    Rng rng(3);
+    return makeMessage(MessagePattern::Alternating, bits, rng);
+}
+
+ChannelConfig
+evictCfg(bool stealthy = false)
+{
+    ChannelConfig cfg;
+    cfg.d = 6;
+    cfg.stealthy = stealthy;
+    return cfg;
+}
+
+ChannelConfig
+misalignCfg(bool stealthy = false)
+{
+    ChannelConfig cfg;
+    cfg.d = 5;
+    cfg.M = 8;
+    cfg.stealthy = stealthy;
+    return cfg;
+}
+
+// ---- Parameterized over all four CPU models. ----
+
+class NonMtChannelsOnCpu
+    : public ::testing::TestWithParam<const CpuModel *>
+{
+};
+
+TEST_P(NonMtChannelsOnCpu, FastEvictionWorks)
+{
+    Core core(*GetParam(), 11);
+    NonMtEvictionChannel channel(core, evictCfg());
+    const auto res = channel.transmit(message());
+    EXPECT_LT(res.errorRate, 0.12);
+    EXPECT_GT(res.transmissionKbps, 100.0);
+    EXPECT_LT(res.transmissionKbps, 20000.0);
+}
+
+TEST_P(NonMtChannelsOnCpu, StealthyEvictionWorks)
+{
+    Core core(*GetParam(), 12);
+    NonMtEvictionChannel channel(core, evictCfg(true));
+    const auto res = channel.transmit(message());
+    EXPECT_LT(res.errorRate, 0.2);
+}
+
+TEST_P(NonMtChannelsOnCpu, FastMisalignmentWorks)
+{
+    Core core(*GetParam(), 13);
+    NonMtMisalignmentChannel channel(core, misalignCfg());
+    const auto res = channel.transmit(message());
+    EXPECT_LT(res.errorRate, 0.15);
+}
+
+TEST_P(NonMtChannelsOnCpu, StealthyMisalignmentBeatsGuessing)
+{
+    Core core(*GetParam(), 14);
+    NonMtMisalignmentChannel channel(core, misalignCfg(true));
+    const auto res = channel.transmit(message(100));
+    EXPECT_LT(res.errorRate, 0.35); // noisy but far from 50%
+}
+
+TEST_P(NonMtChannelsOnCpu, SlowSwitchWorks)
+{
+    Core core(*GetParam(), 15);
+    ChannelConfig cfg;
+    cfg.r = 16;
+    cfg.rounds = 20;
+    SlowSwitchChannel channel(core, cfg);
+    const auto res = channel.transmit(message());
+    EXPECT_LT(res.errorRate, 0.12);
+    // Mixed issue must be distinguishable from ordered issue.
+    EXPECT_NE(res.meanObs0, res.meanObs1);
+}
+
+TEST_P(NonMtChannelsOnCpu, FastBeatsStealthyRate)
+{
+    Core fast_core(*GetParam(), 16);
+    NonMtEvictionChannel fast(fast_core, evictCfg(false));
+    const auto fast_res = fast.transmit(message());
+    Core stealthy_core(*GetParam(), 16);
+    NonMtEvictionChannel stealthy(stealthy_core, evictCfg(true));
+    const auto stealthy_res = stealthy.transmit(message());
+    EXPECT_GT(fast_res.transmissionKbps,
+              stealthy_res.transmissionKbps * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCpus, NonMtChannelsOnCpu,
+    ::testing::ValuesIn(allCpuModels()),
+    [](const ::testing::TestParamInfo<const CpuModel *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+// ---- MT channels: SMT machines only. ----
+
+class MtChannelsOnCpu
+    : public ::testing::TestWithParam<const CpuModel *>
+{
+};
+
+TEST_P(MtChannelsOnCpu, EvictionWorks)
+{
+    Core core(*GetParam(), 21);
+    MtEvictionChannel channel(core, evictCfg());
+    const auto res = channel.transmit(message(40));
+    EXPECT_LT(res.errorRate, 0.3);
+    EXPECT_GT(res.transmissionKbps, 20.0);
+    EXPECT_LT(res.transmissionKbps, 1000.0);
+}
+
+TEST_P(MtChannelsOnCpu, MisalignmentWorks)
+{
+    Core core(*GetParam(), 22);
+    MtMisalignmentChannel channel(core, misalignCfg());
+    const auto res = channel.transmit(message(40));
+    EXPECT_LT(res.errorRate, 0.3);
+}
+
+TEST_P(MtChannelsOnCpu, NonMtFasterThanMt)
+{
+    Core mt_core(*GetParam(), 23);
+    MtEvictionChannel mt(mt_core, evictCfg());
+    const auto mt_res = mt.transmit(message(30));
+    Core nonmt_core(*GetParam(), 23);
+    NonMtEvictionChannel nonmt(nonmt_core, evictCfg());
+    const auto nonmt_res = nonmt.transmit(message(30));
+    EXPECT_GT(nonmt_res.transmissionKbps,
+              3.0 * mt_res.transmissionKbps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmtCpus, MtChannelsOnCpu, ::testing::ValuesIn(smtCpuModels()),
+    [](const ::testing::TestParamInfo<const CpuModel *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(MtChannels, RequireSmt)
+{
+    Core core(xeonE2288G());
+    EXPECT_DEATH(MtEvictionChannel(core, evictCfg()), "SMT");
+}
+
+TEST(MtChannels, RequireUpperHalfTargetSet)
+{
+    Core core(gold6226());
+    ChannelConfig cfg = evictCfg();
+    cfg.targetSet = 3;
+    MtEvictionChannel channel(core, cfg);
+    EXPECT_DEATH(channel.setup(), "partition-mapped");
+}
+
+// ---- Power channels (Gold 6226, Table V setting). ----
+
+TEST(PowerChannels, EvictionTransmits)
+{
+    Core core(gold6226(), 31);
+    PowerChannelConfig power_cfg;
+    power_cfg.rounds = 12000;
+    PowerEvictionChannel channel(core, evictCfg(true), power_cfg);
+    Rng rng(4);
+    const auto msg = makeMessage(MessagePattern::Alternating, 8, rng);
+    const auto res = channel.transmit(msg, 6);
+    EXPECT_LT(res.errorRate, 0.25);
+    // Orders of magnitude below the timing channels.
+    EXPECT_LT(res.transmissionKbps, 100.0);
+}
+
+TEST(PowerChannels, MisalignmentTransmits)
+{
+    Core core(gold6226(), 32);
+    PowerChannelConfig power_cfg;
+    power_cfg.rounds = 20000;
+    PowerMisalignmentChannel channel(core, misalignCfg(true),
+                                     power_cfg);
+    Rng rng(5);
+    const auto msg = makeMessage(MessagePattern::Alternating, 8, rng);
+    const auto res = channel.transmit(msg, 6);
+    EXPECT_LT(res.errorRate, 0.25);
+}
+
+// ---- Config validation. ----
+
+TEST(ChannelConfig, BadDPanics)
+{
+    Core core(gold6226());
+    ChannelConfig cfg;
+    cfg.d = 0;
+    EXPECT_DEATH(NonMtEvictionChannel(core, cfg), "d=0");
+}
+
+TEST(ChannelConfig, MisalignNeedsMGreaterThanD)
+{
+    Core core(gold6226());
+    ChannelConfig cfg;
+    cfg.d = 8;
+    cfg.M = 8;
+    NonMtMisalignmentChannel channel(core, cfg);
+    EXPECT_DEATH(channel.setup(), "M > d");
+}
+
+} // namespace
+} // namespace lf

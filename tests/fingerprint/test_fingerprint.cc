@@ -1,0 +1,120 @@
+/** @file Tests for patch detection and application fingerprinting. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "fingerprint/patch_detect.hh"
+#include "fingerprint/side_channel.hh"
+#include "fingerprint/workloads.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+namespace {
+
+TEST(PatchDetect, PatchMetadata)
+{
+    EXPECT_TRUE(patch1().lsdEnabled);
+    EXPECT_FALSE(patch2().lsdEnabled);
+    EXPECT_NE(patch1().name, patch2().name);
+}
+
+TEST(PatchDetect, SignaturesDivergeOnlyUnderPatch1)
+{
+    PatchDetector detector(gold6226());
+    const PatchSignature s1 = detector.measure(patch1(), 1);
+    const PatchSignature s2 = detector.measure(patch2(), 2);
+    // patch1: the small loop streams from the LSD.
+    EXPECT_GT(s1.smallLoopLsdShare, 0.9);
+    EXPECT_LT(s1.smallLoopCycles, s1.largeLoopCycles * 0.9);
+    EXPECT_LT(s1.smallLoopWatts, s1.largeLoopWatts);
+    // patch2: the loops behave identically.
+    EXPECT_EQ(s2.smallLoopLsdShare, 0.0);
+    EXPECT_NEAR(s2.smallLoopCycles, s2.largeLoopCycles,
+                s2.largeLoopCycles * 0.08);
+}
+
+class PatchDetectSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PatchDetectSeeds, ClassifiesBothPatches)
+{
+    PatchDetector detector(gold6226());
+    EXPECT_TRUE(detector.detectLsdEnabled(patch1(), GetParam()));
+    EXPECT_FALSE(detector.detectLsdEnabled(patch2(), GetParam() + 1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatchDetectSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Workloads, Libraries)
+{
+    EXPECT_EQ(mobileWorkloads().size(), 10u);
+    const auto cnns = cnnWorkloads();
+    ASSERT_EQ(cnns.size(), 4u);
+    EXPECT_EQ(cnns[0].name(), "AlexNet");
+    EXPECT_EQ(cnns[2].name(), "VGG");
+    for (const auto &w : cnns) {
+        EXPECT_GE(w.numPhases(), 2u);
+        EXPECT_GT(w.totalCycles(), 100000u);
+        for (std::size_t i = 0; i < w.numPhases(); ++i)
+            EXPECT_FALSE(w.phaseProgram(i).empty());
+    }
+}
+
+TEST(SideChannel, BaselineIpcNearBackendWidth)
+{
+    TraceConfig config;
+    const double ipc = attackerBaselineIpc(gold6226(), config);
+    EXPECT_GT(ipc, 4.5);
+    EXPECT_LE(ipc, 6.0);
+}
+
+TEST(SideChannel, CoRunningVictimHalvesIpc)
+{
+    TraceConfig config;
+    config.samples = 20;
+    const double baseline = attackerBaselineIpc(gold6226(), config);
+    const auto cnns = cnnWorkloads();
+    const auto trace =
+        attackerIpcTrace(gold6226(), cnns[0], config, 9);
+    double sum = 0.0;
+    for (double v : trace)
+        sum += v;
+    const double paired = sum / static_cast<double>(trace.size());
+    EXPECT_LT(paired, baseline * 0.75);
+    EXPECT_GT(paired, baseline * 0.3);
+}
+
+TEST(SideChannel, SameVictimSimilarTraces)
+{
+    TraceConfig config;
+    config.samples = 40;
+    const auto cnns = cnnWorkloads();
+    const auto a = attackerIpcTrace(gold6226(), cnns[1], config, 100);
+    const auto b = attackerIpcTrace(gold6226(), cnns[1], config, 200);
+    const auto c = attackerIpcTrace(gold6226(), cnns[3], config, 300);
+    EXPECT_LT(euclideanDistance(a, b), euclideanDistance(a, c));
+}
+
+TEST(SideChannel, StudySeparatesCnns)
+{
+    TraceConfig config;
+    config.samples = 60;
+    const FingerprintStudy study =
+        runFingerprintStudy(gold6226(), cnnWorkloads(), config, 2);
+    EXPECT_GT(study.meanInterDistance,
+              1.5 * study.meanIntraDistance);
+    EXPECT_GE(study.classificationAccuracy, 0.75);
+}
+
+TEST(SideChannel, RequiresSmt)
+{
+    TraceConfig config;
+    const auto cnns = cnnWorkloads();
+    EXPECT_DEATH(attackerIpcTrace(xeonE2288G(), cnns[0], config, 1),
+                 "SMT");
+}
+
+} // namespace
+} // namespace lf

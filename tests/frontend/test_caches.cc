@@ -1,0 +1,198 @@
+/** @file Tests for the L1I cache and the DSB structures. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/dsb.hh"
+#include "frontend/l1i_cache.hh"
+#include "frontend/params.hh"
+
+namespace lf {
+namespace {
+
+TEST(L1iCache, HitAfterFill)
+{
+    FrontendParams params;
+    L1iCache l1i(params);
+    EXPECT_FALSE(l1i.access(0x1000).hit);
+    EXPECT_TRUE(l1i.access(0x1000).hit);
+    EXPECT_TRUE(l1i.access(0x103f).hit); // same 64 B line
+    EXPECT_FALSE(l1i.access(0x1040).hit); // next line
+    EXPECT_EQ(l1i.misses(), 2u);
+    EXPECT_EQ(l1i.accesses(), 4u);
+}
+
+TEST(L1iCache, MissLatencyCharged)
+{
+    FrontendParams params;
+    L1iCache l1i(params);
+    EXPECT_EQ(l1i.access(0x2000).latency, params.l1iMissLatency);
+    EXPECT_EQ(l1i.access(0x2000).latency, 0u);
+}
+
+TEST(L1iCache, LruEvictionWithinSet)
+{
+    FrontendParams params;
+    L1iCache l1i(params);
+    // Fill one set with 8 ways (stride = sets * line = 4096).
+    for (int w = 0; w < 8; ++w)
+        l1i.access(0x10000 + static_cast<Addr>(w) * 4096);
+    // Touch way 0 so way 1 is LRU, then insert a 9th alias.
+    l1i.access(0x10000);
+    l1i.access(0x10000 + 8 * 4096);
+    EXPECT_TRUE(l1i.contains(0x10000));
+    EXPECT_FALSE(l1i.contains(0x10000 + 1 * 4096));
+}
+
+TEST(L1iCache, FlushLineAndAll)
+{
+    FrontendParams params;
+    L1iCache l1i(params);
+    l1i.access(0x3000);
+    l1i.flushLine(0x3000);
+    EXPECT_FALSE(l1i.contains(0x3000));
+    l1i.access(0x3000);
+    l1i.flushAll();
+    EXPECT_FALSE(l1i.contains(0x3000));
+}
+
+TEST(L1iCache, MixBlockAliasesUseDistinctSets)
+{
+    // Blocks aliasing one DSB set (1 KiB stride) land in distinct
+    // L1I sets — the paper's stealth argument (Sec. IV-F).
+    FrontendParams params;
+    L1iCache l1i(params);
+    const int set0 = l1i.setOf(0x400000);
+    const int set1 = l1i.setOf(0x400000 + 1024);
+    EXPECT_NE(set0, set1);
+}
+
+TEST(Dsb, InsertLookupAndStats)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    EXPECT_LT(dsb.lookup(0, 0x400020), 0);
+    dsb.insert(0, 0x400020, 5);
+    EXPECT_EQ(dsb.lookup(0, 0x400020), 5);
+    EXPECT_EQ(dsb.hits(), 1u);
+    EXPECT_EQ(dsb.misses(), 1u);
+    EXPECT_EQ(dsb.inserts(), 1u);
+}
+
+TEST(Dsb, PerThreadTags)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    dsb.insert(0, 0x400020, 5);
+    EXPECT_LT(dsb.lookup(1, 0x400020), 0); // other thread: miss
+}
+
+TEST(Dsb, NinthWayEvictsLru)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    int evictions = 0;
+    Addr evicted_key = 0;
+    dsb.setEvictCallback([&](ThreadId, Addr key) {
+        ++evictions;
+        evicted_key = key;
+    });
+    for (int w = 0; w < 8; ++w)
+        dsb.insert(0, 0x400000 + static_cast<Addr>(w) * 1024, 5);
+    EXPECT_EQ(evictions, 0);
+    dsb.insert(0, 0x400000 + 8 * 1024, 5);
+    EXPECT_EQ(evictions, 1);
+    EXPECT_EQ(evicted_key, 0x400000u); // LRU = first inserted
+    EXPECT_FALSE(dsb.contains(0, 0x400000));
+}
+
+TEST(Dsb, LookupRefreshesLru)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    for (int w = 0; w < 8; ++w)
+        dsb.insert(0, 0x400000 + static_cast<Addr>(w) * 1024, 5);
+    dsb.lookup(0, 0x400000); // refresh way 0
+    dsb.insert(0, 0x400000 + 8 * 1024, 5);
+    EXPECT_TRUE(dsb.contains(0, 0x400000));
+    EXPECT_FALSE(dsb.contains(0, 0x400000 + 1024));
+}
+
+TEST(Dsb, FlushKeyAndThread)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    dsb.insert(0, 0x400000, 5);
+    dsb.insert(1, 0x500000, 5);
+    dsb.flushKey(0, 0x400000);
+    EXPECT_FALSE(dsb.contains(0, 0x400000));
+    dsb.flushThread(1);
+    EXPECT_FALSE(dsb.contains(1, 0x500000));
+}
+
+TEST(Dsb, PartitionHalvesTheIndex)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    // Set 20 (addr[9] = 1): full index 20, partitioned index 4 for
+    // thread 0 and 20 for thread 1.
+    const Addr key = 20 * 32;
+    EXPECT_EQ(dsb.setOf(0, key), 20);
+    dsb.setPartitioned(true);
+    EXPECT_EQ(dsb.setOf(0, key), 4);
+    EXPECT_EQ(dsb.setOf(1, key), 20);
+}
+
+TEST(Dsb, PartitionTogglesInvalidateMisplacedLines)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    // Thread 0 line in the upper half (set 20): dies on partition.
+    dsb.insert(0, 20 * 32, 5);
+    // Thread 0 line in the lower half (set 4): survives.
+    dsb.insert(0, 4 * 32, 5);
+    dsb.setPartitioned(true);
+    EXPECT_FALSE(dsb.contains(0, 20 * 32));
+    EXPECT_TRUE(dsb.contains(0, 4 * 32));
+    EXPECT_EQ(dsb.partitionTransitions(), 1u);
+
+    // Insert under partitioning at a now-valid position that is wrong
+    // under the full index: dies on un-partition.
+    dsb.insert(0, 20 * 32, 5); // partitioned index 4
+    dsb.setPartitioned(false);
+    EXPECT_FALSE(dsb.contains(0, 20 * 32));
+    EXPECT_TRUE(dsb.contains(0, 4 * 32));
+}
+
+TEST(Dsb, SetPartitionedIsIdempotent)
+{
+    FrontendParams params;
+    Dsb dsb(params);
+    dsb.setPartitioned(false);
+    EXPECT_EQ(dsb.partitionTransitions(), 0u);
+    dsb.setPartitioned(true);
+    dsb.setPartitioned(true);
+    EXPECT_EQ(dsb.partitionTransitions(), 1u);
+}
+
+class DsbPartitionSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DsbPartitionSweep, SurvivalMatchesIndexBit)
+{
+    // A thread-0 line survives partition activation iff its full set
+    // index already lies in thread 0's half (addr[9] == 0).
+    const int set = GetParam();
+    FrontendParams params;
+    Dsb dsb(params);
+    const Addr key = static_cast<Addr>(set) * 32;
+    dsb.insert(0, key, 5);
+    dsb.setPartitioned(true);
+    EXPECT_EQ(dsb.contains(0, key), set < 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, DsbPartitionSweep,
+                         ::testing::Range(0, 32, 1));
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,128 @@
+/** @file Tests for decoded-run (chunk) construction. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/chunk.hh"
+#include "isa/mix_block.hh"
+
+namespace lf {
+namespace {
+
+FrontendParams params;
+
+TEST(Chunk, AlignedMixBlockIsOneChunk)
+{
+    const auto chain = buildMixBlockChain(0x400000, 3, {{0, false}});
+    ChunkCache cache(&chain.program, params);
+    const Chunk *chunk = cache.get(chain.blockStarts[0]);
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->numInsts(), 5);
+    EXPECT_EQ(chunk->uops, 5);
+    EXPECT_EQ(chunk->bytes, 25);
+    EXPECT_TRUE(chunk->endsBranch);
+    EXPECT_TRUE(chunk->aligned());
+    EXPECT_TRUE(chunk->cacheable());
+}
+
+TEST(Chunk, MisalignedMixBlockSplitsInTwo)
+{
+    const auto chain = buildMixBlockChain(0x400000, 3, {{0, true}});
+    ChunkCache cache(&chain.program, params);
+    const Addr start = chain.blockStarts[0];
+    const Chunk *first = cache.get(start);
+    ASSERT_NE(first, nullptr);
+    EXPECT_FALSE(first->aligned());
+    EXPECT_FALSE(first->endsBranch);
+    EXPECT_EQ(first->numInsts(), 4); // movs starting inside window 1
+    const Chunk *second = cache.get(first->fallThrough);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->numInsts(), 1); // the spilled jmp
+    EXPECT_TRUE(second->endsBranch);
+    // The two chunks map to adjacent DSB sets.
+    EXPECT_NE((first->start >> 5) & 31, (second->start >> 5) & 31);
+}
+
+TEST(Chunk, UopCapacitySplitsNopRuns)
+{
+    const auto loop = buildNopLoop(0x100000, 100);
+    ChunkCache cache(&loop.program, params);
+    const Chunk *chunk = cache.get(0x100000);
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->uops, params.dsbLineUops); // capped at one line
+    EXPECT_EQ(chunk->numInsts(), 6);
+}
+
+TEST(Chunk, NopLoopChunkCount)
+{
+    const auto loop = buildNopLoop(0x100000, 100);
+    ChunkCache cache(&loop.program, params);
+    int chunks = 0;
+    Addr pc = 0x100000;
+    while (true) {
+        const Chunk *chunk = cache.get(pc);
+        ASSERT_NE(chunk, nullptr);
+        ++chunks;
+        if (chunk->endsBranch)
+            break;
+        pc = chunk->fallThrough;
+    }
+    // 100 nops in 6-uop chunks bounded by 32 B windows, plus the jmp.
+    EXPECT_GE(chunks, 17);
+    EXPECT_LE(chunks, 20);
+}
+
+TEST(Chunk, LcpInstructionStandsAlone)
+{
+    const auto loop = buildLcpAddLoop(0x100000, LcpPattern::Mixed, 4);
+    ChunkCache cache(&loop.program, params);
+    Addr pc = 0x100000;
+    // First chunk: the leading plain add only (LCP breaks the run).
+    const Chunk *first = cache.get(pc);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->numInsts(), 1);
+    EXPECT_TRUE(first->cacheable());
+    const Chunk *second = cache.get(first->fallThrough);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->numInsts(), 1);
+    EXPECT_EQ(second->lcpCount, 1);
+    EXPECT_FALSE(second->cacheable());
+}
+
+TEST(Chunk, HaltChunk)
+{
+    Assembler as(0x1000);
+    as.halt();
+    Program p = as.take();
+    ChunkCache cache(&p, params);
+    const Chunk *chunk = cache.get(0x1000);
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_TRUE(chunk->halt);
+}
+
+TEST(Chunk, MissingAddressReturnsNull)
+{
+    Assembler as(0x1000);
+    as.mov();
+    Program p = as.take();
+    ChunkCache cache(&p, params);
+    EXPECT_EQ(cache.get(0x9999), nullptr);
+    EXPECT_EQ(cache.get(0x9999), nullptr); // negative cache path
+}
+
+TEST(Chunk, EndOfInstMarkers)
+{
+    Assembler as(0x1000);
+    as.store(0x8000); // 2 uops
+    as.mov();
+    Program p = as.take();
+    ChunkCache cache(&p, params);
+    const Chunk *chunk = cache.get(0x1000);
+    ASSERT_NE(chunk, nullptr);
+    ASSERT_EQ(chunk->uops, 3);
+    EXPECT_FALSE(chunk->endOfInst[0]); // store uop 1
+    EXPECT_TRUE(chunk->endOfInst[1]);  // store uop 2
+    EXPECT_TRUE(chunk->endOfInst[2]);  // mov
+}
+
+} // namespace
+} // namespace lf

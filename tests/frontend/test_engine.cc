@@ -1,0 +1,221 @@
+/** @file Tests for the frontend engine: SMT, LSD, speculation. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/bpu.hh"
+#include "isa/mix_block.hh"
+#include "sim/core.hh"
+#include "sim/cpu_model.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+namespace {
+
+std::vector<BlockSpec>
+alignedSpecs(int count)
+{
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < count; ++i)
+        specs.push_back({i, false});
+    return specs;
+}
+
+TEST(Bpu, BtbAndCounters)
+{
+    Bpu bpu;
+    EXPECT_FALSE(bpu.btbHas(0x1000));
+    bpu.btbInsert(0x1000, 0x2000);
+    EXPECT_TRUE(bpu.btbHas(0x1000));
+
+    EXPECT_FALSE(bpu.predictCond(0x3000)); // cold: not taken
+    bpu.updateCond(0x3000, true);
+    bpu.updateCond(0x3000, true);
+    EXPECT_TRUE(bpu.predictCond(0x3000));
+    bpu.updateCond(0x3000, false);
+    EXPECT_FALSE(bpu.predictCond(0x3000)); // back to weakly not-taken
+    bpu.reset();
+    EXPECT_FALSE(bpu.btbHas(0x1000));
+}
+
+TEST(Engine, PartitionFollowsProgramBinding)
+{
+    Core core(gold6226());
+    const auto a = buildNopLoop(0x100000, 50);
+    const auto b = buildNopLoop(0x200000, 50);
+    EXPECT_FALSE(core.frontend().partitioned());
+    core.setProgram(0, &a.program);
+    EXPECT_FALSE(core.frontend().partitioned());
+    core.setProgram(1, &b.program);
+    EXPECT_TRUE(core.frontend().partitioned());
+    core.clearProgram(1);
+    EXPECT_FALSE(core.frontend().partitioned());
+}
+
+TEST(Engine, SmtDisabledModelNeverPartitions)
+{
+    Core core(xeonE2288G());
+    const auto a = buildNopLoop(0x100000, 50);
+    const auto b = buildNopLoop(0x200000, 50);
+    core.setProgram(0, &a.program);
+    core.setProgram(1, &b.program);
+    EXPECT_FALSE(core.frontend().partitioned());
+}
+
+TEST(Engine, PartitionToggleEvictsUpperHalfLines)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(0x400000, 20, alignedSpecs(4));
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 5);
+    EXPECT_TRUE(core.frontend().dsb().contains(0, chain.blockStarts[0]));
+
+    const auto sibling = buildNopLoop(0x200000, 50);
+    core.setProgram(1, &sibling.program); // partition on
+    EXPECT_FALSE(
+        core.frontend().dsb().contains(0, chain.blockStarts[0]));
+}
+
+TEST(Engine, CoRunnerHalvesAttackerIpc)
+{
+    Core core(gold6226());
+    const auto attacker = buildNopLoop(0x100000, 100);
+    core.setProgram(0, &attacker.program);
+    core.runCycles(5000);
+    const auto solo0 = core.counters(0).retiredInsts;
+    core.runCycles(10000);
+    const double solo_ipc =
+        static_cast<double>(core.counters(0).retiredInsts - solo0) /
+        10000.0;
+
+    const auto victim = buildNopLoop(0x200000, 100);
+    core.setProgram(1, &victim.program);
+    core.runCycles(5000);
+    const auto paired0 = core.counters(0).retiredInsts;
+    core.runCycles(10000);
+    const double paired_ipc =
+        static_cast<double>(core.counters(0).retiredInsts - paired0) /
+        10000.0;
+
+    EXPECT_NEAR(paired_ipc, solo_ipc / 2.0, solo_ipc * 0.15);
+}
+
+TEST(Engine, MiteBoundVictimYieldsDeliverySlots)
+{
+    // A DSB-streaming victim pins the attacker at ~1/2; a MITE-bound
+    // victim stalls often and the attacker gets more slots — the
+    // fingerprinting side channel of Sec. XI.
+    Core core(gold6226());
+    const auto attacker = buildNopLoop(0x100000, 100);
+    const auto small_victim = buildNopLoop(0xa00000, 100);
+    const auto thrash_victim =
+        buildMixBlockChain(0xa00000, 2, alignedSpecs(9));
+
+    core.setProgram(0, &attacker.program);
+    core.setProgram(1, &small_victim.program);
+    core.runCycles(5000);
+    const auto i0 = core.counters(0).retiredInsts;
+    core.runCycles(10000);
+    const double ipc_small =
+        static_cast<double>(core.counters(0).retiredInsts - i0) /
+        10000.0;
+
+    core.setProgram(1, &thrash_victim.program);
+    core.runCycles(5000);
+    const auto i1 = core.counters(0).retiredInsts;
+    core.runCycles(10000);
+    const double ipc_thrash =
+        static_cast<double>(core.counters(0).retiredInsts - i1) /
+        10000.0;
+
+    EXPECT_GT(ipc_thrash, ipc_small * 1.15);
+}
+
+TEST(Engine, SpeculativeFetchFillsDsbWithoutRetiring)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(0x400000, 9, alignedSpecs(2));
+    core.setProgram(0, &chain.program);
+    const auto retired_before = core.counters(0).retiredInsts;
+    core.frontend().speculativeFetch(0, chain.blockStarts[1], 1);
+    EXPECT_TRUE(core.frontend().dsb().contains(0, chain.blockStarts[1]));
+    EXPECT_EQ(core.counters(0).retiredInsts, retired_before);
+    EXPECT_GT(core.counters(0).specChunks, 0u);
+}
+
+TEST(Engine, SpeculativeFetchStopsAtCondBranch)
+{
+    Assembler as(0x1000);
+    as.jcc(0x2000, 0);
+    Program p = as.take();
+    Core core(gold6226());
+    core.setProgram(0, &p);
+    core.frontend().speculativeFetch(0, 0x1000, 8);
+    // Only the jcc chunk itself is walked; nothing past it.
+    EXPECT_EQ(core.counters(0).specChunks, 1u);
+}
+
+TEST(Engine, EvictionFlushesLsd)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(0x400000, 6, alignedSpecs(4));
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 20);
+    ASSERT_TRUE(core.frontend().lsdActive(0));
+    // Fill the set with 8 more alien lines: evicts the loop body.
+    for (int w = 10; w < 18; ++w) {
+        core.frontend().dsb().insert(
+            0, 0x800000 + static_cast<Addr>(w) * 1024 + 6 * 32, 5);
+    }
+    EXPECT_FALSE(core.frontend().lsdActive(0));
+    EXPECT_GT(core.counters(0).lsdFlushes, 0u);
+}
+
+TEST(Engine, MisalignedExecutionPoisonsLsdCapture)
+{
+    Core core(gold6226());
+    // Run misaligned blocks of set 6, then a small aligned loop of the
+    // same set: the LSD must refuse to engage while poisoned.
+    const auto poison = buildMixBlockChain(0x800000, 6,
+                                           {{0, true}, {1, true}});
+    core.setProgram(0, &poison.program);
+    runLoopIters(core, 0, poison, 3);
+
+    const auto loop = buildMixBlockChain(0x400000, 6, alignedSpecs(4));
+    core.setProgram(0, &loop.program);
+    runLoopIters(core, 0, loop, 6);
+    EXPECT_FALSE(core.frontend().lsdActive(0));
+    EXPECT_EQ(core.counters(0).uopsLsd, 0u);
+}
+
+TEST(Engine, FlushThreadFrontendStopsLsd)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(0x400000, 6, alignedSpecs(4));
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 20);
+    ASSERT_TRUE(core.frontend().lsdActive(0));
+    core.frontend().flushThreadFrontend(0);
+    EXPECT_FALSE(core.frontend().lsdActive(0));
+    EXPECT_EQ(core.frontend().idqOccupancy(0), 0);
+}
+
+TEST(Engine, CondBranchMispredictPenalty)
+{
+    // A jcc that alternates direction should keep mispredicting.
+    Assembler as(0x1000);
+    const Addr head = as.cursor();
+    as.mov();
+    as.jcc(head, 0);
+    as.jmp(head);
+    Program p = as.take();
+    p.setEntry(head);
+    p.setCondFn([](int, std::uint64_t count) { return count % 2 == 0; });
+
+    Core core(gold6226());
+    core.setProgram(0, &p);
+    core.runUntilRetired(0, 200);
+    EXPECT_GT(core.counters(0).condMispredicts, 20u);
+}
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * End-to-end validation of the paper's Sec. IV-G misalignment table:
+ * run actual {aligned + misaligned} mix-block chains through the full
+ * simulator (not just the LoopMonitor rule) and check whether the LSD
+ * ends up streaming the loop.
+ *
+ * Also covers Sec. IV-F end to end: chain lengths 1..8 fit the LSD,
+ * chain length 9 collapses to MITE+DSB with zero L1I disturbance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/mix_block.hh"
+#include "sim/core.hh"
+#include "sim/cpu_model.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+namespace {
+
+struct PairCase
+{
+    int aligned;
+    int misaligned;
+    bool lsdStreams; //!< Expected: loop streamed by the LSD.
+};
+
+class MisalignmentPairs : public ::testing::TestWithParam<PairCase>
+{
+};
+
+TEST_P(MisalignmentPairs, LsdEngagementMatchesPaper)
+{
+    const PairCase c = GetParam();
+    Core core(gold6226());
+    const auto chain = buildAlignedMisalignedChain(
+        0x400000, 12, c.aligned, c.misaligned);
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 40);
+    EXPECT_EQ(core.frontend().lsdActive(0), c.lsdStreams)
+        << c.aligned << " aligned + " << c.misaligned << " misaligned";
+    if (!c.lsdStreams)
+        EXPECT_EQ(core.counters(0).uopsLsd, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSec4G, MisalignmentPairs,
+    ::testing::Values(
+        // Collision cases listed in Sec. IV-G -> LSD must not stream.
+        PairCase{7, 1, false},
+        PairCase{5, 2, false},
+        PairCase{6, 2, false},
+        PairCase{3, 3, false},
+        PairCase{4, 3, false},
+        PairCase{5, 3, false},
+        // Non-collision cases -> LSD streams. Note: mixed-alignment
+        // loops need the poison from their own misaligned blocks to
+        // decay fast enough; pure-aligned cases are the crisp ones.
+        PairCase{8, 0, true},
+        PairCase{7, 0, true},
+        PairCase{4, 0, true},
+        PairCase{2, 0, true},
+        PairCase{1, 0, true}));
+
+class ChainLengthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChainLengthSweep, UpToEightAliasingBlocksFitLsdAndDsb)
+{
+    const int blocks = GetParam();
+    Core core(gold6226());
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < blocks; ++i)
+        specs.push_back({i, false});
+    const auto chain = buildMixBlockChain(0x400000, 7, specs);
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 40);
+    if (blocks <= 8) {
+        EXPECT_TRUE(core.frontend().lsdActive(0)) << blocks;
+        EXPECT_EQ(core.frontend().dsb().evictions(), 0u) << blocks;
+    } else {
+        EXPECT_FALSE(core.frontend().lsdActive(0)) << blocks;
+        EXPECT_GT(core.frontend().dsb().evictions(), 0u) << blocks;
+    }
+}
+
+TEST_P(ChainLengthSweep, NoSteadyStateL1iMisses)
+{
+    // Sec. IV-F: neither the 8->9 eviction transition nor any chain
+    // length disturbs the L1I after warmup.
+    const int blocks = GetParam();
+    Core core(gold6226());
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < blocks; ++i)
+        specs.push_back({i, false});
+    const auto chain = buildMixBlockChain(0x400000, 7, specs);
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 10);
+    const auto warm = core.counters(0).l1iMisses;
+    runLoopIters(core, 0, chain, 60);
+    EXPECT_EQ(core.counters(0).l1iMisses, warm) << blocks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainLengthSweep,
+                         ::testing::Range(1, 11));
+
+class MisalignedOnlySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MisalignedOnlySweep, SplitBlocksOccupyTwoLinesEach)
+{
+    const int blocks = GetParam();
+    Core core(gold6226());
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < blocks; ++i)
+        specs.push_back({i, true});
+    const auto chain = buildMixBlockChain(0x400000, 9, specs);
+    core.setProgram(0, &chain.program);
+    runLoopIters(core, 0, chain, 10);
+    EXPECT_EQ(core.frontend().dsb().inserts(),
+              static_cast<std::uint64_t>(2 * blocks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MisalignedOnlySweep,
+                         ::testing::Range(1, 5));
+
+} // namespace
+} // namespace lf

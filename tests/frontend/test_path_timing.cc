@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Integration tests for the fundamental frontend path timing orderings
+ * the paper's attacks rely on (Fig. 2):
+ *   DSB delivery < LSD delivery < MITE+DSB delivery
+ * and the structural behaviours of Sec. IV (eviction at 9 blocks, LSD
+ * fit at 8 blocks, L1I neutrality of DSB aliasing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/mix_block.hh"
+#include "sim/core.hh"
+#include "sim/cpu_model.hh"
+#include "sim/executor.hh"
+
+namespace lf {
+namespace {
+
+constexpr Addr kBase = 0x400000;
+constexpr ThreadId kT0 = 0;
+
+std::vector<BlockSpec>
+alignedSpecs(int count, int first_way = 0)
+{
+    std::vector<BlockSpec> specs;
+    for (int i = 0; i < count; ++i)
+        specs.push_back({first_way + i, false});
+    return specs;
+}
+
+TEST(PathTiming, LsdEngagesForSmallAlignedLoop)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(kBase, 7, alignedSpecs(4));
+    core.setProgram(kT0, &chain.program);
+    runLoopIters(core, kT0, chain, 20);
+    EXPECT_TRUE(core.frontend().lsdActive(kT0));
+    EXPECT_GT(core.counters(kT0).uopsLsd, 0u);
+}
+
+TEST(PathTiming, LsdDisabledModelNeverEngages)
+{
+    Core core(xeonE2174G());
+    const auto chain = buildMixBlockChain(kBase, 7, alignedSpecs(4));
+    core.setProgram(kT0, &chain.program);
+    runLoopIters(core, kT0, chain, 50);
+    EXPECT_FALSE(core.frontend().lsdActive(kT0));
+    EXPECT_EQ(core.counters(kT0).uopsLsd, 0u);
+    EXPECT_GT(core.counters(kT0).uopsDsb, 0u);
+}
+
+TEST(PathTiming, EightBlocksFitLsdAndOneDsbSet)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(kBase, 3, alignedSpecs(8));
+    core.setProgram(kT0, &chain.program);
+    runLoopIters(core, kT0, chain, 30);
+    // 8 blocks x 5 uops = 40 <= 64: fits the LSD.
+    EXPECT_TRUE(core.frontend().lsdActive(kT0));
+    // All 8 blocks coexist in the 8-way set: no DSB evictions.
+    EXPECT_EQ(core.frontend().dsb().evictions(), 0u);
+}
+
+TEST(PathTiming, NineBlocksThrashDsbSetAndStayOnMite)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(kBase, 3, alignedSpecs(9));
+    core.setProgram(kT0, &chain.program);
+    runLoopIters(core, kT0, chain, 30);
+    // 9 ways demanded of an 8-way set: LRU thrash, eviction storm.
+    EXPECT_FALSE(core.frontend().lsdActive(kT0));
+    EXPECT_GT(core.frontend().dsb().evictions(), 20u);
+    // Steady-state delivery keeps falling back to the MITE.
+    EXPECT_GT(core.counters(kT0).uopsMite, core.counters(kT0).uopsDsb);
+}
+
+TEST(PathTiming, Fig2OrderingDsbFasterThanLsdFasterThanMite)
+{
+    // DSB steady state: measured on an LSD-disabled model.
+    Core dsb_core(xeonE2174G());
+    const auto chain_a = buildMixBlockChain(kBase, 5, alignedSpecs(8));
+    const double dsb_cpi =
+        steadyCyclesPerIter(dsb_core, kT0, chain_a, 20, 50);
+
+    // LSD steady state: same loop on an LSD-enabled model.
+    Core lsd_core(gold6226());
+    const double lsd_cpi =
+        steadyCyclesPerIter(lsd_core, kT0, chain_a, 20, 50);
+
+    // MITE+DSB steady state: 9-block thrash on the same model.
+    Core mite_core(gold6226());
+    const auto chain_b = buildMixBlockChain(kBase, 5, alignedSpecs(9));
+    const double mite_cpi =
+        steadyCyclesPerIter(mite_core, kT0, chain_b, 20, 50) * 8.0 / 9.0;
+
+    // Paper Fig. 2 ordering (per-block cost): DSB < LSD < MITE+DSB.
+    EXPECT_LT(dsb_cpi, lsd_cpi);
+    EXPECT_LT(lsd_cpi * 1.5, mite_cpi);
+}
+
+TEST(PathTiming, DsbAliasingCausesNoL1iMisses)
+{
+    Core core(gold6226());
+    const auto chain = buildMixBlockChain(kBase, 3, alignedSpecs(9));
+    core.setProgram(kT0, &chain.program);
+    runLoopIters(core, kT0, chain, 5); // warm the L1I
+    const std::uint64_t warm_misses = core.counters(kT0).l1iMisses;
+    runLoopIters(core, kT0, chain, 50);
+    // The 9 aliasing blocks live in 9 distinct L1I sets: after warmup
+    // the DSB thrash produces zero additional L1I misses (Sec. IV-F).
+    EXPECT_EQ(core.counters(kT0).l1iMisses, warm_misses);
+}
+
+TEST(PathTiming, MisalignedBlockSplitsIntoTwoChunks)
+{
+    Core core(gold6226());
+    std::vector<BlockSpec> specs = {{0, true}, {1, true}};
+    const auto chain = buildMixBlockChain(kBase, 6, specs);
+    core.setProgram(kT0, &chain.program);
+    runLoopIters(core, kT0, chain, 10);
+    // Each misaligned block occupies two DSB lines (entry window +
+    // spill window): 2 blocks -> 4 inserts.
+    EXPECT_EQ(core.frontend().dsb().inserts(), 4u);
+}
+
+TEST(PathTiming, NopLoopFitsDsbButNotLsd)
+{
+    Core core(gold6226());
+    const auto loop = buildNopLoop(kBase, 100);
+    core.setProgram(kT0, &loop.program);
+    runLoopIters(core, kT0, loop, 40);
+    EXPECT_FALSE(core.frontend().lsdActive(kT0)); // 101 uops > 64
+    EXPECT_EQ(core.frontend().dsb().evictions(), 0u);
+    // Steady state delivers from the DSB.
+    const auto before = core.counters(kT0);
+    runLoopIters(core, kT0, loop, 20);
+    const auto delta = core.counters(kT0).delta(before);
+    EXPECT_EQ(delta.uopsMite, 0u);
+    EXPECT_GT(delta.uopsDsb, 0u);
+}
+
+TEST(PathTiming, NopLoopSoloIpcNearIssueWidth)
+{
+    Core core(gold6226());
+    const auto loop = buildNopLoop(kBase, 100);
+    core.setProgram(kT0, &loop.program);
+    runLoopIters(core, kT0, loop, 20); // warm
+    const auto before = core.counters(kT0);
+    const Cycles c0 = core.cycle();
+    runLoopIters(core, kT0, loop, 100);
+    const auto delta = core.counters(kT0).delta(before);
+    const double ipc = static_cast<double>(delta.retiredInsts) /
+        static_cast<double>(core.cycle() - c0);
+    // The solo nop-loop attacker runs near (but below) the backend
+    // width; with a co-runner it roughly halves (paper Sec. XI).
+    EXPECT_GT(ipc, 4.5);
+    EXPECT_LE(ipc, 6.05);
+}
+
+} // namespace
+} // namespace lf

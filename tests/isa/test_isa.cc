@@ -1,0 +1,214 @@
+/** @file Tests for the x86-lite ISA, assembler, and mix blocks. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/mix_block.hh"
+#include "isa/program.hh"
+
+namespace lf {
+namespace {
+
+TEST(Instruction, DefaultEncodings)
+{
+    EXPECT_EQ(defaultLength(Opcode::MOV_RR), 5);
+    EXPECT_EQ(defaultLength(Opcode::JMP), 5);
+    EXPECT_EQ(defaultLength(Opcode::ADD_RR), 3);
+    EXPECT_EQ(defaultLength(Opcode::ADD_LCP), 4); // 0x66 prefix byte
+    EXPECT_EQ(defaultUops(Opcode::STORE), 2);
+    EXPECT_EQ(defaultUops(Opcode::MOV_RR), 1);
+}
+
+TEST(Instruction, Predicates)
+{
+    StaticInst jmp;
+    jmp.op = Opcode::JMP;
+    EXPECT_TRUE(jmp.isBranch());
+    EXPECT_FALSE(jmp.isCondBranch());
+    StaticInst jcc;
+    jcc.op = Opcode::JCC;
+    EXPECT_TRUE(jcc.isCondBranch());
+    StaticInst load;
+    load.op = Opcode::LOAD;
+    EXPECT_TRUE(load.isMem());
+}
+
+TEST(Assembler, SequentialLayout)
+{
+    Assembler as(0x1000);
+    const Addr a = as.mov();
+    const Addr b = as.mov();
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_EQ(b, 0x1005u);
+    EXPECT_EQ(as.cursor(), 0x100au);
+}
+
+TEST(Assembler, AlignAndOrg)
+{
+    Assembler as(0x1001);
+    as.align(32);
+    EXPECT_EQ(as.cursor(), 0x1020u);
+    as.org(0x2000);
+    EXPECT_EQ(as.cursor(), 0x2000u);
+}
+
+TEST(Program, LookupAndEntry)
+{
+    Assembler as(0x1000);
+    as.mov();
+    as.jmp(0x1000);
+    Program p = as.take();
+    EXPECT_EQ(p.numInsts(), 2u);
+    EXPECT_NE(p.at(0x1000), nullptr);
+    EXPECT_EQ(p.at(0x1001), nullptr);
+    EXPECT_EQ(p.entry(), 0x1000u);
+    p.setEntry(0x1005);
+    EXPECT_EQ(p.entry(), 0x1005u);
+}
+
+TEST(Program, OverlapPanics)
+{
+    Assembler as(0x1000);
+    as.mov(); // bytes 0x1000-0x1004
+    Program &p = as.program();
+    StaticInst inside;
+    inside.op = Opcode::NOP;
+    inside.addr = 0x1002;
+    inside.length = 1;
+    EXPECT_DEATH(p.add(inside), "overlaps");
+}
+
+TEST(Program, CondFn)
+{
+    Program p;
+    p.setCondFn([](int id, std::uint64_t count) {
+        return id == 1 && count < 3;
+    });
+    EXPECT_TRUE(p.evalCond(1, 0));
+    EXPECT_FALSE(p.evalCond(1, 3));
+    EXPECT_FALSE(p.evalCond(0, 0));
+    Program unset;
+    EXPECT_FALSE(unset.evalCond(0, 0));
+}
+
+TEST(Program, TotalsAndSpan)
+{
+    Assembler as(0x1000);
+    as.mov();
+    as.store(0x9000);
+    Program p = as.take();
+    EXPECT_EQ(p.totalUops(), 3u);
+    EXPECT_EQ(p.byteSpan(), 9u);
+}
+
+TEST(MixBlock, CanonicalInvariants)
+{
+    const auto chain = buildMixBlockChain(0x400000, 7, {{0, false}});
+    // 4 mov + 1 jmp: 25 bytes, 5 uops (Sec. IV-D).
+    EXPECT_EQ(chain.program.numInsts(), 5u);
+    EXPECT_EQ(chain.program.totalUops(), 5u);
+    EXPECT_EQ(chain.program.byteSpan(), 25u);
+    EXPECT_EQ(chain.instsPerIteration, 5u);
+}
+
+TEST(MixBlock, ChainLinksAndLoops)
+{
+    const auto chain = buildMixBlockChain(
+        0x400000, 3, {{0, false}, {1, false}, {2, false}});
+    ASSERT_EQ(chain.blockStarts.size(), 3u);
+    // Each block's jmp targets the next block; the last loops back.
+    for (std::size_t i = 0; i < 3; ++i) {
+        const Addr jmp_addr = chain.blockStarts[i] + 20;
+        const StaticInst *jmp = chain.program.at(jmp_addr);
+        ASSERT_NE(jmp, nullptr);
+        EXPECT_EQ(jmp->op, Opcode::JMP);
+        EXPECT_EQ(jmp->target, chain.blockStarts[(i + 1) % 3]);
+    }
+}
+
+TEST(MixBlock, SinglePassEndsInHalt)
+{
+    const auto pass =
+        buildMixBlockPass(0x400000, 3, {{0, false}, {1, false}});
+    const StaticInst *last_jmp =
+        pass.program.at(pass.blockStarts[1] + 20);
+    ASSERT_NE(last_jmp, nullptr);
+    const StaticInst *halt = pass.program.at(last_jmp->target);
+    ASSERT_NE(halt, nullptr);
+    EXPECT_TRUE(halt->isHalt());
+}
+
+TEST(MixBlock, MisalignmentOffsets)
+{
+    const auto chain =
+        buildMixBlockChain(0x400000, 4, {{0, true}, {1, false}});
+    EXPECT_EQ(chain.blockStarts[0] % 32, kMisalignOffset);
+    EXPECT_EQ(chain.blockStarts[1] % 32, 0u);
+}
+
+TEST(MixBlock, AlignedMisalignedHelper)
+{
+    const auto chain =
+        buildAlignedMisalignedChain(0x400000, 2, 3, 2);
+    ASSERT_EQ(chain.blockStarts.size(), 5u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(chain.blockStarts[static_cast<size_t>(i)] % 32, 0u);
+    for (int i = 3; i < 5; ++i)
+        EXPECT_EQ(chain.blockStarts[static_cast<size_t>(i)] % 32, 16u);
+}
+
+TEST(MixBlock, NopLoopShape)
+{
+    const auto loop = buildNopLoop(0x100000, 100);
+    // 100 one-byte nops + 5-byte jmp = 105 bytes: two i-cache lines.
+    EXPECT_EQ(loop.program.byteSpan(), 105u);
+    EXPECT_EQ(loop.program.totalUops(), 101u);
+    EXPECT_EQ(loop.instsPerIteration, 101u);
+}
+
+TEST(MixBlock, LcpLoopPatterns)
+{
+    const auto mixed = buildLcpAddLoop(0x100000, LcpPattern::Mixed, 16);
+    const auto ordered =
+        buildLcpAddLoop(0x200000, LcpPattern::Ordered, 16);
+    EXPECT_EQ(mixed.program.numInsts(), 33u);
+    EXPECT_EQ(ordered.program.numInsts(), 33u);
+    EXPECT_EQ(mixed.instsPerIteration, 33u);
+
+    // Mixed alternates LCP; ordered front-loads plain adds.
+    int mixed_lcp = 0;
+    int ordered_lcp = 0;
+    for (const StaticInst *inst : mixed.program.instructions())
+        mixed_lcp += inst->lcp;
+    for (const StaticInst *inst : ordered.program.instructions())
+        ordered_lcp += inst->lcp;
+    EXPECT_EQ(mixed_lcp, 16);
+    EXPECT_EQ(ordered_lcp, 16);
+    // First instruction: plain in both; second: LCP only in mixed.
+    const auto mixed_insts = mixed.program.instructions();
+    EXPECT_FALSE(mixed_insts[0]->lcp);
+    EXPECT_TRUE(mixed_insts[1]->lcp);
+    const auto ordered_insts = ordered.program.instructions();
+    EXPECT_FALSE(ordered_insts[1]->lcp);
+}
+
+class SetMappingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SetMappingSweep, AllBlocksAliasTheTargetSet)
+{
+    const int set = GetParam();
+    std::vector<BlockSpec> specs;
+    for (int w = 0; w < 8; ++w)
+        specs.push_back({w, false});
+    const auto chain = buildMixBlockChain(0x400000, set, specs);
+    for (Addr start : chain.blockStarts)
+        EXPECT_EQ(dsbSetOf(start), static_cast<std::uint64_t>(set));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, SetMappingSweep,
+                         ::testing::Range(0, 32, 1));
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,90 @@
+/** @file Tests for the simulated RAPL counter. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/rapl.hh"
+
+namespace lf {
+namespace {
+
+RaplParams
+quietParams()
+{
+    RaplParams params;
+    params.noiseStddevMicroJoules = 0.0;
+    return params;
+}
+
+TEST(Rapl, IntervalInCycles)
+{
+    RaplCounter rapl(quietParams(), 2.0, Rng(1));
+    // 50 us at 2 GHz = 100,000 cycles.
+    EXPECT_EQ(rapl.updateIntervalCycles(), 100000u);
+}
+
+TEST(Rapl, NoRefreshBeforeIntervalBoundary)
+{
+    RaplCounter rapl(quietParams(), 2.0, Rng(1));
+    rapl.accumulate(5000.0, 50000); // half an interval
+    EXPECT_DOUBLE_EQ(rapl.read(50000), 0.0);
+}
+
+TEST(Rapl, RefreshAtBoundaryIsQuantized)
+{
+    RaplCounter rapl(quietParams(), 2.0, Rng(1));
+    rapl.accumulate(5000.0, 200000); // two intervals
+    const double value = rapl.read(200000);
+    EXPECT_GT(value, 0.0);
+    // Quantized to the 61 uJ unit.
+    EXPECT_NEAR(value, std::floor(5000.0 / 61.0) * 61.0, 1e-9);
+}
+
+TEST(Rapl, LinearAttributionAcrossBoundary)
+{
+    RaplCounter rapl(quietParams(), 2.0, Rng(1));
+    // 1000 uJ spread over [0, 150k): boundary at 100k sees 2/3.
+    rapl.accumulate(1000.0, 150000);
+    const double visible = rapl.read(150000);
+    EXPECT_NEAR(visible, std::floor(1000.0 * 2.0 / 3.0 / 61.0) * 61.0,
+                1e-9);
+}
+
+TEST(Rapl, MonotoneAcrossManyIntervals)
+{
+    RaplParams params = quietParams();
+    RaplCounter rapl(params, 2.0, Rng(1));
+    double last = 0.0;
+    for (int i = 1; i <= 20; ++i) {
+        rapl.accumulate(2000.0,
+                        static_cast<Cycles>(i) * 100000);
+        const double now = rapl.read(static_cast<Cycles>(i) * 100000);
+        EXPECT_GE(now, last);
+        last = now;
+    }
+}
+
+TEST(Rapl, NoiseIsBounded)
+{
+    RaplParams params;
+    params.noiseStddevMicroJoules = 8.0;
+    RaplCounter rapl(params, 2.0, Rng(2));
+    rapl.accumulate(100000.0, 200000);
+    double sum = 0.0;
+    for (int i = 0; i < 1000; ++i)
+        sum += rapl.read(200000);
+    // Mean of reads close to the quantized truth.
+    EXPECT_NEAR(sum / 1000.0,
+                std::floor(100000.0 / 61.0) * 61.0, 2.0);
+}
+
+TEST(Rapl, BackwardsAccumulationPanics)
+{
+    RaplCounter rapl(quietParams(), 2.0, Rng(1));
+    rapl.accumulate(10.0, 1000);
+    EXPECT_DEATH(rapl.accumulate(10.0, 500), "forward");
+}
+
+} // namespace
+} // namespace lf

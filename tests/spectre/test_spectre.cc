@@ -1,0 +1,115 @@
+/** @file Integration tests for the Spectre v1 variants. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "sim/cpu_model.hh"
+#include "common/rng.hh"
+#include "spectre/spectre.hh"
+
+namespace lf {
+namespace {
+
+std::vector<int>
+someSecrets(int count = 10)
+{
+    std::vector<int> secrets;
+    Rng rng(77);
+    for (int i = 0; i < count; ++i)
+        secrets.push_back(static_cast<int>(rng.uniformInt(0, 31)));
+    return secrets;
+}
+
+TEST(Spectre, VariantNamesAndOrder)
+{
+    const auto variants = allSpectreVariants();
+    EXPECT_EQ(variants.size(), 6u);
+    EXPECT_STREQ(toString(SpectreVariant::Frontend), "Frontend");
+    EXPECT_STREQ(toString(SpectreVariant::MemFlushReload), "MEM F+R");
+    EXPECT_EQ(variants.back(), SpectreVariant::Frontend);
+}
+
+class SpectreVariantTest
+    : public ::testing::TestWithParam<SpectreVariant>
+{
+};
+
+TEST_P(SpectreVariantTest, RecoversSecrets)
+{
+    Core core(gold6226(), 55);
+    SpectreAttack attack(core);
+    const auto secrets = someSecrets();
+    const SpectreResult res = attack.run(GetParam(), secrets);
+    EXPECT_EQ(res.trials, secrets.size());
+    // Every channel must beat random guessing (1/32) decisively;
+    // the low-noise channels should be near-perfect.
+    EXPECT_GT(res.accuracy, 0.5) << toString(GetParam());
+    EXPECT_GT(res.l1Accesses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SpectreVariantTest,
+    ::testing::ValuesIn(allSpectreVariants()),
+    [](const ::testing::TestParamInfo<SpectreVariant> &info) {
+        std::string name = toString(info.param);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Spectre, DataVariantsArePerfect)
+{
+    Core core(gold6226(), 56);
+    SpectreAttack attack(core);
+    const auto secrets = someSecrets(12);
+    for (SpectreVariant v : {SpectreVariant::MemFlushReload,
+                             SpectreVariant::L1dFlushReload,
+                             SpectreVariant::L1dLru}) {
+        const SpectreResult res = attack.run(v, secrets);
+        EXPECT_DOUBLE_EQ(res.accuracy, 1.0) << toString(v);
+    }
+}
+
+TEST(Spectre, FrontendHasLowestL1MissRate)
+{
+    // The headline of Table VII.
+    Core core(gold6226(), 57);
+    SpectreAttack attack(core);
+    const auto secrets = someSecrets(12);
+    double frontend_rate = 1.0;
+    double min_other = 1.0;
+    for (SpectreVariant v : allSpectreVariants()) {
+        const SpectreResult res = attack.run(v, secrets);
+        if (v == SpectreVariant::Frontend)
+            frontend_rate = res.l1MissRate;
+        else
+            min_other = std::min(min_other, res.l1MissRate);
+    }
+    EXPECT_LT(frontend_rate, min_other);
+    EXPECT_LT(frontend_rate, 0.005); // essentially cache-silent
+}
+
+TEST(Spectre, DataChannelsMissMoreThanInstructionChannels)
+{
+    Core core(gold6226(), 58);
+    SpectreAttack attack(core);
+    const auto secrets = someSecrets(12);
+    const double l1d_fr =
+        attack.run(SpectreVariant::L1dFlushReload, secrets).l1MissRate;
+    const double l1i_fr =
+        attack.run(SpectreVariant::L1iFlushReload, secrets).l1MissRate;
+    EXPECT_GT(l1d_fr, l1i_fr);
+}
+
+TEST(Spectre, SecretOutOfRangePanics)
+{
+    Core core(gold6226(), 59);
+    SpectreAttack attack(core);
+    EXPECT_DEATH(attack.run(SpectreVariant::Frontend, {32}),
+                 "out of range");
+}
+
+} // namespace
+} // namespace lf

@@ -4,6 +4,10 @@
  * d = 1..8 on the three SMT machines: transmission rate, error rate,
  * and effective rate (rate x (1 - error)).
  *
+ * The sweep is expressed as a batch of ExperimentSpecs with a "d"
+ * config override per point and fanned out by the ExperimentRunner;
+ * BENCH_fig8.json carries the machine-readable sweep.
+ *
  * Expected shape: transmission rate rises with d (the sender's encode
  * step shrinks as N+1-d falls); error is worst at small d where the
  * timing signal is tiny.
@@ -12,7 +16,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
-#include "core/mt_channels.hh"
+#include "run/runner.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -22,26 +27,38 @@ main()
 {
     bench::banner("Fig. 8 — MT eviction attack vs receiver ways d");
 
+    std::vector<ExperimentSpec> specs;
+    for (const CpuModel *cpu : smtCpuModels()) {
+        for (int d = 1; d <= 8; ++d) {
+            ExperimentSpec spec;
+            spec.label = "d=" + std::to_string(d);
+            spec.channel = "mt-eviction";
+            spec.cpu = cpu->name;
+            spec.seed = 900 + static_cast<std::uint64_t>(d);
+            spec.messageBits = bench::kMessageBits;
+            spec.overrides["d"] = d;
+            specs.push_back(spec);
+        }
+    }
+
+    const auto results = ExperimentRunner().run(specs);
+
     TextTable table("Rate/error vs d (alternating message)");
     table.setHeader({"CPU", "d", "Tr. Rate (Kbps)", "Error Rate",
                      "Effective Rate (Kbps)"});
-
-    for (const CpuModel *cpu : smtCpuModels()) {
-        for (int d = 1; d <= 8; ++d) {
-            Core core(*cpu, 900 + static_cast<std::uint64_t>(d));
-            ChannelConfig cfg;
-            cfg.d = d;
-            MtEvictionChannel channel(core, cfg);
-            const ChannelResult res =
-                channel.transmit(bench::alternatingMessage());
-            table.addRow({cpu->name, std::to_string(d),
-                          formatKbps(res.transmissionKbps),
-                          formatPercent(res.errorRate),
-                          formatKbps(res.transmissionKbps *
-                                     (1.0 - res.errorRate))});
-        }
+    for (const ExperimentResult &res : results) {
+        table.addRow({res.spec.cpu,
+                      std::to_string(static_cast<int>(
+                          res.spec.overrides.at("d"))),
+                      formatKbps(res.result.transmissionKbps),
+                      formatPercent(res.result.errorRate),
+                      formatKbps(res.result.transmissionKbps *
+                                 (1.0 - res.result.errorRate))});
     }
     std::printf("%s\n", table.render().c_str());
+    JsonSink("fig8_d_sweep").writeFile(results,
+                                       benchJsonFileName("fig8"));
+    std::printf("Wrote %s\n", benchJsonFileName("fig8").c_str());
     std::printf("Expected shape (paper Fig. 8): rate grows with d"
                 " (sender encode shrinks);\n  error is largest at"
                 " d = 1..2 where the receiver's timing signal is"

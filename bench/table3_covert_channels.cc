@@ -4,59 +4,31 @@
  * misalignment-based covert channel (d = 6 for eviction, d = 5 / M = 8
  * for misalignment; alternating message) across the four machines.
  *
+ * Channels are named through the registry and executed as one batch by
+ * the parallel ExperimentRunner; MT cells on the SMT-disabled E-2288G
+ * come back as skipped rows (the paper prints "-" there too). Besides
+ * the sim-vs-paper text table this emits BENCH_table3.json.
+ *
  * Expected shape: non-MT >> MT; fast > stealthy; the fastest channel
  * is non-MT fast misalignment with ~0% error; the E-2288G is the
- * fastest machine and the Gold 6226 the slowest; no MT numbers for
- * the E-2288G (hyper-threading disabled).
+ * fastest machine and the Gold 6226 the slowest.
  */
 
 #include <cstdio>
-#include <memory>
 
 #include "bench/bench_util.hh"
-#include "core/mt_channels.hh"
-#include "core/nonmt_channels.hh"
+#include "run/runner.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
 
 namespace {
 
-ChannelConfig
-evictionConfig(bool stealthy)
-{
-    ChannelConfig cfg;
-    cfg.d = 6;
-    cfg.stealthy = stealthy;
-    return cfg;
-}
-
-ChannelConfig
-misalignConfig(bool stealthy)
-{
-    ChannelConfig cfg;
-    cfg.d = 5;
-    cfg.M = 8;
-    cfg.stealthy = stealthy;
-    cfg.mtSenderIters = 2;
-    return cfg;
-}
-
-template <typename ChannelT>
-ChannelResult
-runOn(const CpuModel &cpu, const ChannelConfig &cfg, std::uint64_t seed)
-{
-    Core core(cpu, seed);
-    ChannelT channel(core, cfg);
-    return channel.transmit(bench::alternatingMessage());
-}
-
 struct RowSpec
 {
-    const char *name;
-    bool mt;
-    bool misalign;
-    bool stealthy;
+    const char *label;
+    const char *channel;
     const char *paper_rate[4];
     const char *paper_err[4];
 };
@@ -70,66 +42,49 @@ main()
                   "channels (alternating message)");
 
     const RowSpec rows[] = {
-        {"Non-MT Stealthy Eviction", false, false, true,
+        {"Non-MT Stealthy Eviction", "nonmt-stealthy-eviction",
          {"419.67", "851.81", "1182.55", "1356.43"},
          {"6.48%", "3.43%", "3.45%", "0.36%"}},
-        {"Non-MT Stealthy Misalignment", false, true, true,
+        {"Non-MT Stealthy Misalignment", "nonmt-stealthy-misalignment",
          {"713.01", "466.02", "723.15", "1094.39"},
          {"22.56%", "11.34%", "16.56%", "10.08%"}},
-        {"Non-MT Fast Eviction", false, false, false,
+        {"Non-MT Fast Eviction", "nonmt-fast-eviction",
          {"501.06", "977.68", "1205.90", "1399.96"},
          {"6.09%", "0.00%", "0.00%", "0.00%"}},
-        {"Non-MT Fast Misalignment", false, true, false,
+        {"Non-MT Fast Misalignment", "nonmt-fast-misalignment",
          {"500.90", "959.45", "1228.35", "1410.84"},
          {"0.16%", "0.00%", "0.16%", "0.00%"}},
-        {"MT Eviction", true, false, false,
+        {"MT Eviction", "mt-eviction",
          {"115.97", "113.02", "161.63", "-"},
          {"15.52%", "14.44%", "13.93%", "-"}},
-        {"MT Misalignment", true, true, false,
+        {"MT Misalignment", "mt-misalignment",
          {"129.36", "152.44", "200.37", "-"},
          {"7.85%", "2.77%", "4.62%", "-"}},
     };
 
     const auto cpus = allCpuModels();
-    TextTable table("Covert channels (sim value, paper value)");
-    table.setHeader({"Channel", "Metric", "G6226", "E-2174G",
-                     "E-2286G", "E-2288G"});
-
+    TextTableSink text("Covert channels (sim value, paper value)");
+    std::vector<ExperimentSpec> specs;
     std::uint64_t seed = 500;
     for (const RowSpec &row : rows) {
-        std::vector<std::string> rate_row = {row.name,
-                                             "Tr. Rate (Kbps)"};
-        std::vector<std::string> err_row = {"", "Error Rate"};
         for (std::size_t c = 0; c < cpus.size(); ++c) {
-            const CpuModel &cpu = *cpus[c];
-            ++seed;
-            if (row.mt && !cpu.smtEnabled) {
-                rate_row.push_back("- (paper -)");
-                err_row.push_back("- (paper -)");
-                continue;
-            }
-            const ChannelConfig cfg = row.misalign
-                ? misalignConfig(row.stealthy)
-                : evictionConfig(row.stealthy);
-            ChannelResult res;
-            if (row.mt && row.misalign) {
-                res = runOn<MtMisalignmentChannel>(cpu, cfg, seed);
-            } else if (row.mt) {
-                res = runOn<MtEvictionChannel>(cpu, cfg, seed);
-            } else if (row.misalign) {
-                res = runOn<NonMtMisalignmentChannel>(cpu, cfg, seed);
-            } else {
-                res = runOn<NonMtEvictionChannel>(cpu, cfg, seed);
-            }
-            rate_row.push_back(bench::cmpCell(res.transmissionKbps,
-                                              row.paper_rate[c]));
-            err_row.push_back(formatPercent(res.errorRate) + " (paper " +
-                              row.paper_err[c] + ")");
+            ExperimentSpec spec;
+            spec.label = row.label;
+            spec.channel = row.channel;
+            spec.cpu = cpus[c]->name;
+            spec.seed = ++seed;
+            spec.messageBits = bench::kMessageBits;
+            specs.push_back(spec);
+            text.annotatePaper(row.label, spec.cpu,
+                               {row.paper_rate[c], row.paper_err[c]});
         }
-        table.addRow(rate_row);
-        table.addRow(err_row);
     }
-    std::printf("%s\n", table.render().c_str());
+
+    const auto results = ExperimentRunner().run(specs);
+    std::printf("%s\n", text.render(results).c_str());
+    JsonSink("table3_covert_channels")
+        .writeFile(results, benchJsonFileName("table3"));
+    std::printf("Wrote %s\n", benchJsonFileName("table3").c_str());
 
     std::printf("Expected shape: non-MT rates are several times the MT"
                 " rates;\n  fast variants beat stealthy ones; the"

@@ -4,10 +4,13 @@
  * misalignment variants) on the Gold 6226, observed through the
  * simulated RAPL counter.
  *
- * The paper interleaves p = q = 240,000 rounds per bit; the default
- * here uses fewer rounds to keep simulation turnaround small and
- * reports both the simulated rate and the rate normalized to the
- * paper's round count (per-bit time scales linearly in rounds).
+ * The paper interleaves p = q = 240,000 rounds per bit; the registry
+ * default uses fewer rounds to keep simulation turnaround small and
+ * this bench reports both the simulated rate and the rate normalized
+ * to the paper's round count (per-bit time scales linearly in rounds).
+ * Channels run through the ExperimentRunner; BENCH_table5.json carries
+ * the machine-readable rows.
+ *
  * Expected shape: ~three orders of magnitude slower than the timing
  * channels, but comfortably above the 100 bps TCSEC threshold.
  */
@@ -15,7 +18,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
-#include "core/power_channels.hh"
+#include "run/runner.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -23,28 +27,16 @@ using namespace lf;
 namespace {
 
 constexpr int kPaperRounds = 240000;
+constexpr int kSimRounds = 20000;
 
-template <typename ChannelT>
-void
-runRow(TextTable &table, const char *name, const ChannelConfig &cfg,
-       const char *paper_rate, const char *paper_err,
-       std::uint64_t seed)
+struct RowSpec
 {
-    PowerChannelConfig power_cfg;
-    power_cfg.rounds = 20000;
-    Core core(gold6226(), seed);
-    ChannelT channel(core, cfg, power_cfg);
-    Rng rng(3);
-    const auto msg = makeMessage(MessagePattern::Alternating, 12, rng);
-    const ChannelResult res = channel.transmit(msg, 8);
-    const double normalized = res.transmissionKbps *
-        static_cast<double>(power_cfg.rounds) /
-        static_cast<double>(kPaperRounds);
-    table.addRow({name, formatKbps(res.transmissionKbps),
-                  formatKbps(normalized) + " (paper " + paper_rate + ")",
-                  formatPercent(res.errorRate) + " (paper " + paper_err +
-                      ")"});
-}
+    const char *label;
+    const char *channel;
+    const char *paper_rate;
+    const char *paper_err;
+    std::uint64_t seed;
+};
 
 } // namespace
 
@@ -53,24 +45,45 @@ main()
 {
     bench::banner("Table V — non-MT power channels (Gold 6226, d = 6)");
 
+    const RowSpec rows[] = {
+        {"Eviction-Based", "power-eviction", "0.66", "18.87%", 61},
+        {"Misalignment-Based", "power-misalignment", "0.63", "9.07%",
+         62},
+    };
+
+    std::vector<ExperimentSpec> specs;
+    for (const RowSpec &row : rows) {
+        ExperimentSpec spec;
+        spec.label = row.label;
+        spec.channel = row.channel;
+        spec.cpu = gold6226().name;
+        spec.seed = row.seed;
+        spec.messageBits = 12;
+        spec.preambleBits = 8;
+        spec.overrides["powerRounds"] = kSimRounds;
+        specs.push_back(spec);
+    }
+
+    const auto results = ExperimentRunner().run(specs);
+
     TextTable table("Power channels via RAPL");
     table.setHeader({"Channel", "Sim rate (Kbps, 20k rounds)",
                      "Rate @ paper 240k rounds (Kbps)", "Error Rate"});
-
-    ChannelConfig ev;
-    ev.d = 6;
-    ev.stealthy = true;
-    runRow<PowerEvictionChannel>(table, "Eviction-Based", ev, "0.66",
-                                 "18.87%", 61);
-
-    ChannelConfig mi;
-    mi.d = 5;
-    mi.M = 8;
-    mi.stealthy = true;
-    runRow<PowerMisalignmentChannel>(table, "Misalignment-Based", mi,
-                                     "0.63", "9.07%", 62);
-
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ChannelResult &res = results[i].result;
+        const double normalized = res.transmissionKbps *
+            static_cast<double>(kSimRounds) /
+            static_cast<double>(kPaperRounds);
+        table.addRow({rows[i].label, formatKbps(res.transmissionKbps),
+                      formatKbps(normalized) + " (paper " +
+                          rows[i].paper_rate + ")",
+                      formatPercent(res.errorRate) + " (paper " +
+                          rows[i].paper_err + ")"});
+    }
     std::printf("%s\n", table.render().c_str());
+    JsonSink("table5_power_channels")
+        .writeFile(results, benchJsonFileName("table5"));
+    std::printf("Wrote %s\n", benchJsonFileName("table5").c_str());
     std::printf("Expected shape: both channels land in the ~kbps range"
                 " at paper\n  round counts (>> 100 bps TCSEC"
                 " threshold), far below the timing channels.\n");

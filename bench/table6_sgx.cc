@@ -2,7 +2,8 @@
  * @file
  * Table VI: covert channels leaking from an SGX enclave (d = 6
  * eviction / d = 5, M = 8 misalignment; alternating message) on the
- * three SGX-capable machines.
+ * three SGX-capable machines, run as one parallel ExperimentRunner
+ * batch over the sgx-* registry channels. Emits BENCH_table6.json.
  *
  * Expected shape: non-MT SGX rates are roughly 1/25 - 1/30 of the
  * non-SGX non-MT rates (one enclave entry/exit per bit plus thousands
@@ -13,7 +14,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
-#include "sgx/sgx_channels.hh"
+#include "run/runner.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -22,15 +24,13 @@ namespace {
 
 constexpr std::size_t kSgxBits = 60;
 
-template <typename ChannelT>
-ChannelResult
-runOn(const CpuModel &cpu, const ChannelConfig &cfg,
-      const SgxConfig &sgx, std::uint64_t seed)
+struct RowSpec
 {
-    Core core(cpu, seed);
-    ChannelT channel(core, cfg, sgx);
-    return channel.transmit(bench::alternatingMessage(kSgxBits), 10);
-}
+    const char *label;
+    const char *channel;
+    const char *paper_rate[3];
+    const char *paper_err[3];
+};
 
 } // namespace
 
@@ -39,80 +39,46 @@ main()
 {
     bench::banner("Table VI — SGX enclave covert channels");
 
-    const auto cpus = sgxCpuModels();
-    SgxConfig sgx;
-
-    struct RowSpec
-    {
-        const char *name;
-        bool mt;
-        bool misalign;
-        bool stealthy;
-        const char *paper_rate[3];
-        const char *paper_err[3];
-    };
     const RowSpec rows[] = {
-        {"Non-MT Stealthy Eviction", false, false, true,
+        {"Non-MT Stealthy Eviction", "sgx-nonmt-stealthy-eviction",
          {"18.96", "19.56", "21.20"}, {"0.16%", "1.33%", "2.18%"}},
-        {"Non-MT Stealthy Misalignment", false, true, true,
+        {"Non-MT Stealthy Misalignment",
+         "sgx-nonmt-stealthy-misalignment",
          {"23.93", "24.70", "27.10"}, {"0.32%", "0.76%", "0.76%"}},
-        {"Non-MT Fast Eviction", false, false, false,
+        {"Non-MT Fast Eviction", "sgx-nonmt-fast-eviction",
          {"29.35", "32.01", "34.48"}, {"0.04%", "1.40%", "0.40%"}},
-        {"Non-MT Fast Misalignment", false, true, false,
+        {"Non-MT Fast Misalignment", "sgx-nonmt-fast-misalignment",
          {"30.36", "31.18", "35.20"}, {"0.08%", "1.08%", "0.68%"}},
-        {"MT Eviction", true, false, false,
+        {"MT Eviction", "sgx-mt-eviction",
          {"7.85", "14.89", "-"}, {"6.74%", "8.02%", "-"}},
-        {"MT Misalignment", true, true, false,
+        {"MT Misalignment", "sgx-mt-misalignment",
          {"6.39", "13.62", "-"}, {"2.56%", "12.95%", "-"}},
     };
 
-    TextTable table("SGX channels (sim value, paper value)");
-    table.setHeader({"Channel", "Metric", "E-2174G", "E-2286G",
-                     "E-2288G"});
-
+    const auto cpus = sgxCpuModels();
+    TextTableSink text("SGX channels (sim value, paper value)");
+    std::vector<ExperimentSpec> specs;
     std::uint64_t seed = 700;
     for (const RowSpec &row : rows) {
-        std::vector<std::string> rate_row = {row.name,
-                                             "Tr. Rate (Kbps)"};
-        std::vector<std::string> err_row = {"", "Error Rate"};
         for (std::size_t c = 0; c < cpus.size(); ++c) {
-            const CpuModel &cpu = *cpus[c];
-            ++seed;
-            if (row.mt && !cpu.smtEnabled) {
-                rate_row.push_back("- (paper -)");
-                err_row.push_back("- (paper -)");
-                continue;
-            }
-            ChannelConfig cfg;
-            if (row.misalign) {
-                cfg.d = 5;
-                cfg.M = 8;
-            } else {
-                cfg.d = 6;
-            }
-            cfg.stealthy = row.stealthy;
-            ChannelResult res;
-            if (row.mt && row.misalign) {
-                res = runOn<SgxMtMisalignmentChannel>(cpu, cfg, sgx,
-                                                      seed);
-            } else if (row.mt) {
-                res = runOn<SgxMtEvictionChannel>(cpu, cfg, sgx, seed);
-            } else if (row.misalign) {
-                res = runOn<SgxNonMtMisalignmentChannel>(cpu, cfg, sgx,
-                                                         seed);
-            } else {
-                res = runOn<SgxNonMtEvictionChannel>(cpu, cfg, sgx,
-                                                     seed);
-            }
-            rate_row.push_back(bench::cmpCell(res.transmissionKbps,
-                                              row.paper_rate[c]));
-            err_row.push_back(formatPercent(res.errorRate) + " (paper " +
-                              row.paper_err[c] + ")");
+            ExperimentSpec spec;
+            spec.label = row.label;
+            spec.channel = row.channel;
+            spec.cpu = cpus[c]->name;
+            spec.seed = ++seed;
+            spec.messageBits = kSgxBits;
+            spec.preambleBits = 10;
+            specs.push_back(spec);
+            text.annotatePaper(row.label, spec.cpu,
+                               {row.paper_rate[c], row.paper_err[c]});
         }
-        table.addRow(rate_row);
-        table.addRow(err_row);
     }
-    std::printf("%s\n", table.render().c_str());
+
+    const auto results = ExperimentRunner().run(specs);
+    std::printf("%s\n", text.render(results).c_str());
+    JsonSink("table6_sgx").writeFile(results,
+                                     benchJsonFileName("table6"));
+    std::printf("Wrote %s\n", benchJsonFileName("table6").c_str());
     std::printf("Expected shape: tens of Kbps for non-MT SGX"
                 " (1/25-1/30 of non-SGX),\n  MT SGX lower still;"
                 " low error rates throughout.\n");

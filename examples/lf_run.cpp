@@ -1,0 +1,280 @@
+/**
+ * @file
+ * lf_run — command-line driver for the channel registry and the
+ * parallel ExperimentRunner.
+ *
+ *   lf_run --list
+ *   lf_run --channel nonmt-fast-eviction --cpu all --trials 8 \
+ *          --threads 4 --json out.json
+ *   lf_run --channel mt-eviction --set d=3 --bits 60 --csv sweep.csv
+ *
+ * Every run is deterministic in (--channel, --cpu, --seed, --trials,
+ * message options): the thread count changes wall time only, never
+ * the emitted bytes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "run/runner.hh"
+#include "run/sinks.hh"
+#include "sim/cpu_model.hh"
+
+using namespace lf;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: lf_run [options]\n"
+        "\n"
+        "  --list              list registered channels and exit\n"
+        "  --channel NAME      channel to run (repeatable; 'all' for\n"
+        "                      every registered channel)\n"
+        "  --cpu NAME          CPU model ('all' for every model;\n"
+        "                      default all)\n"
+        "  --trials N          independent trials per channel/CPU\n"
+        "                      pair (default 1)\n"
+        "  --threads N         worker threads (default: hardware\n"
+        "                      concurrency)\n"
+        "  --seed S            base seed (default 1)\n"
+        "  --bits N            message length in bits (default 100)\n"
+        "  --pattern P         all-0s | all-1s | alternating | random\n"
+        "                      (default alternating)\n"
+        "  --preamble N        calibration bits (default: channel's)\n"
+        "  --set KEY=VALUE     config override (repeatable); keys as\n"
+        "                      in ChannelConfig plus powerRounds,\n"
+        "                      sgxRounds, sgxMtSteps, sgxMtMeasPerStep\n"
+        "  --json PATH         write results as JSON\n"
+        "  --csv PATH          write results as CSV\n"
+        "  --quiet             suppress the text table\n"
+        "  --help              this message\n");
+}
+
+void
+listChannels()
+{
+    TextTable table("Registered covert channels");
+    table.setHeader({"Name", "Needs", "Default", "Description"});
+    for (const std::string &name : allChannelNames()) {
+        const ChannelInfo &info = channelInfo(name);
+        std::string needs;
+        if (info.requiresSmt)
+            needs += "SMT ";
+        if (info.requiresSgx)
+            needs += "SGX ";
+        if (needs.empty())
+            needs = "-";
+        const ChannelConfig &cfg = info.defaultConfig;
+        std::string defaults = "d=" + std::to_string(cfg.d) +
+            " M=" + std::to_string(cfg.M) +
+            (cfg.stealthy ? " stealthy" : "");
+        table.addRow({name, needs, defaults, info.description});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nCPU models:");
+    for (const CpuModel *cpu : allCpuModels())
+        std::printf(" \"%s\"", cpu->name.c_str());
+    std::printf("\n");
+}
+
+bool
+parseUint64(const std::string &text, std::uint64_t &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(text, &pos);
+        return pos == text.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseInt(const std::string &text, int &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stoi(text, &pos);
+        return pos == text.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> channels;
+    std::string cpu = "all";
+    int trials = 1;
+    int threads = 0;
+    std::uint64_t seed = 1;
+    int bits = 100;
+    MessagePattern pattern = MessagePattern::Alternating;
+    int preamble = -1;
+    std::map<std::string, double> overrides;
+    std::string json_path;
+    std::string csv_path;
+    bool quiet = false;
+
+    auto need_value = [&](int i) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            usage(stderr);
+            std::exit(1);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--list") {
+            listChannels();
+            return 0;
+        } else if (arg == "--channel") {
+            channels.push_back(need_value(i++));
+        } else if (arg == "--cpu") {
+            cpu = need_value(i++);
+        } else if (arg == "--trials") {
+            if (!parseInt(need_value(i++), trials) || trials < 1) {
+                std::fprintf(stderr, "bad --trials value\n");
+                return 1;
+            }
+        } else if (arg == "--threads") {
+            if (!parseInt(need_value(i++), threads) || threads < 0) {
+                std::fprintf(stderr, "bad --threads value\n");
+                return 1;
+            }
+        } else if (arg == "--seed") {
+            if (!parseUint64(need_value(i++), seed)) {
+                std::fprintf(stderr, "bad --seed value\n");
+                return 1;
+            }
+        } else if (arg == "--bits") {
+            if (!parseInt(need_value(i++), bits) || bits < 1) {
+                std::fprintf(stderr, "bad --bits value\n");
+                return 1;
+            }
+        } else if (arg == "--pattern") {
+            const std::string name = need_value(i++);
+            if (!messagePatternFromString(name, pattern)) {
+                std::fprintf(stderr, "unknown pattern \"%s\"\n",
+                             name.c_str());
+                return 1;
+            }
+        } else if (arg == "--preamble") {
+            if (!parseInt(need_value(i++), preamble) || preamble < 2) {
+                std::fprintf(stderr, "bad --preamble value\n");
+                return 1;
+            }
+        } else if (arg == "--set") {
+            const std::string kv = need_value(i++);
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr,
+                             "--set wants KEY=VALUE, got \"%s\"\n",
+                             kv.c_str());
+                return 1;
+            }
+            try {
+                overrides[kv.substr(0, eq)] =
+                    std::stod(kv.substr(eq + 1));
+            } catch (...) {
+                std::fprintf(stderr, "bad --set value in \"%s\"\n",
+                             kv.c_str());
+                return 1;
+            }
+        } else if (arg == "--json") {
+            json_path = need_value(i++);
+        } else if (arg == "--csv") {
+            csv_path = need_value(i++);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option \"%s\"\n",
+                         arg.c_str());
+            usage(stderr);
+            return 1;
+        }
+    }
+
+    if (channels.empty()) {
+        std::fprintf(stderr,
+                     "no --channel given (try --list or --help)\n");
+        return 1;
+    }
+    if (channels.size() == 1 && channels[0] == "all")
+        channels = allChannelNames();
+    for (const std::string &name : channels) {
+        if (!hasChannel(name)) {
+            std::fprintf(stderr, "unknown channel \"%s\";"
+                         " see --list\n", name.c_str());
+            return 1;
+        }
+    }
+
+    std::vector<const CpuModel *> cpus;
+    if (cpu == "all") {
+        cpus = allCpuModels();
+    } else {
+        const CpuModel *model = findCpuModel(cpu);
+        if (model == nullptr) {
+            std::fprintf(stderr, "unknown CPU model \"%s\";"
+                         " see --list\n", cpu.c_str());
+            return 1;
+        }
+        cpus.push_back(model);
+    }
+
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &name : channels) {
+        for (const CpuModel *model : cpus) {
+            ExperimentSpec spec;
+            spec.channel = name;
+            spec.cpu = model->name;
+            spec.seed = seed;
+            spec.pattern = pattern;
+            spec.messageBits = static_cast<std::size_t>(bits);
+            spec.preambleBits = preamble;
+            spec.overrides = overrides;
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const ExperimentRunner runner(threads);
+    const auto results = runner.runTrials(specs, trials);
+
+    if (!quiet) {
+        TextTableSink text("lf_run results");
+        std::cout << text.render(results);
+    }
+    if (!json_path.empty()) {
+        JsonSink("lf_run").writeFile(results, json_path);
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        CsvSink().writeFile(results, csv_path);
+        std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+    }
+
+    for (const ExperimentResult &res : results) {
+        if (!res.ok && !res.skipped) {
+            std::fprintf(stderr, "trial failed: %s\n",
+                         res.error.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: strict build + full test suite, then an ASan +
+# UBSan pass over the registry/runner subsystem. Mirrors the CI
+# workflow so the same gate runs locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== strict build (-Wall -Wextra -Werror) =="
+cmake -B build-check -S . -DLF_WERROR=ON
+cmake --build build-check -j "${JOBS}"
+
+echo "== ctest =="
+ctest --test-dir build-check --output-on-failure -j "${JOBS}"
+
+echo "== ASan/UBSan: registry + runner tests =="
+cmake -B build-asan -S . -DLF_ASAN=ON
+cmake --build build-asan -j "${JOBS}" \
+    --target lf_core_test_channel_registry lf_run_test_runner
+./build-asan/lf_core_test_channel_registry
+./build-asan/lf_run_test_runner
+
+echo "== all checks passed =="

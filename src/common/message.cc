@@ -16,6 +16,18 @@ toString(MessagePattern pattern)
     return "?";
 }
 
+bool
+messagePatternFromString(const std::string &name, MessagePattern &out)
+{
+    for (MessagePattern pattern : allMessagePatterns()) {
+        if (name == toString(pattern)) {
+            out = pattern;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<MessagePattern>
 allMessagePatterns()
 {

@@ -25,6 +25,14 @@ enum class MessagePattern {
 
 const char *toString(MessagePattern pattern);
 
+/**
+ * Parse a pattern name as printed by toString() ("all-0s", "all-1s",
+ * "alternating", "random").
+ * @return true and set @p out on success; false on an unknown name.
+ */
+bool messagePatternFromString(const std::string &name,
+                              MessagePattern &out);
+
 /** All four patterns, in table order. */
 std::vector<MessagePattern> allMessagePatterns();
 

@@ -27,6 +27,12 @@ ChannelResult
 CovertChannel::transmit(const std::vector<bool> &message,
                         int preamble_bits)
 {
+    if (preamble_bits < 0)
+        preamble_bits = cfg_.preambleBits;
+    if (preamble_bits < 2)
+        lf_fatal("preamble too short (%d bits; need >= 2)",
+                 preamble_bits);
+
     if (!setupDone_) {
         setup();
         setupDone_ = true;
@@ -63,6 +69,9 @@ CovertChannel::transmit(const std::vector<bool> &message,
     ChannelResult result;
     result.channelName = name();
     result.cpuName = core_.model().name;
+    result.seed = core_.seed();
+    result.preambleBits = preamble_bits;
+    result.config = cfg_;
     result.sent = message;
     result.meanObs0 = mean0;
     result.meanObs1 = mean1;

@@ -59,17 +59,26 @@ struct ChannelConfig
     int mtSenderIters = 4;   //!< Sender loop passes per encode step.
     /// @}
 
+    /** Calibration preamble length in bits (Sec. VI-B). transmit()
+     *  uses this unless the caller passes an explicit override. */
+    int preambleBits = 16;
+
     /** Base virtual addresses for receiver and sender code. Distinct
      *  1 KiB-aligned regions give distinct DSB tags. */
     Addr receiverBase = 0x400000;
     Addr senderBase = 0x800000;
 };
 
-/** Outcome of one message transmission. */
+/** Outcome of one message transmission. Echoes the full experimental
+ *  setting (seed, preamble, config) so serialized rows are
+ *  self-describing. */
 struct ChannelResult
 {
     std::string channelName;
     std::string cpuName;
+    std::uint64_t seed = 0;         //!< Core seed of the trial.
+    int preambleBits = 0;           //!< Calibration bits actually used.
+    ChannelConfig config;           //!< Config the channel ran with.
     std::vector<bool> sent;
     std::vector<bool> received;
     double errorRate = 0.0;         //!< Edit distance / message bits.
@@ -101,9 +110,11 @@ class CovertChannel
 
     /**
      * Calibrate on an alternating preamble, then transmit @p message.
+     * @param preamble_bits Calibration bits; < 0 means use
+     *                      ChannelConfig::preambleBits.
      */
     ChannelResult transmit(const std::vector<bool> &message,
-                           int preamble_bits = 16);
+                           int preamble_bits = -1);
 
     Core &core() { return core_; }
     const ChannelConfig &config() const { return cfg_; }

@@ -1,0 +1,160 @@
+#include "run/experiment.hh"
+
+#include "common/logging.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+deriveTrialSeed(std::uint64_t base, int trial)
+{
+    if (trial == 0)
+        return base;
+    return splitmix64(base ^ splitmix64(
+        static_cast<std::uint64_t>(trial)));
+}
+
+std::vector<ExperimentSpec>
+expandTrials(const ExperimentSpec &spec, int trials)
+{
+    lf_assert(trials >= 1, "need at least one trial, got %d", trials);
+    std::vector<ExperimentSpec> expanded;
+    expanded.reserve(static_cast<std::size_t>(trials));
+    for (int t = 0; t < trials; ++t) {
+        ExperimentSpec trial_spec = spec;
+        trial_spec.trial = t;
+        trial_spec.seed = deriveTrialSeed(spec.seed, t);
+        expanded.push_back(std::move(trial_spec));
+    }
+    return expanded;
+}
+
+std::vector<bool>
+specMessage(const ExperimentSpec &spec)
+{
+    // Only MessagePattern::Random consults the RNG; mix the seed so
+    // the message stream is decorrelated from the Core's noise stream.
+    Rng rng(splitmix64(spec.seed ^ 0x6d65737361676573ULL));
+    return makeMessage(spec.pattern, spec.messageBits, rng);
+}
+
+std::string
+resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
+                  ChannelExtras &extras)
+{
+    const ChannelInfo &info = channelInfo(spec.channel);
+    cfg = info.defaultConfig;
+    extras = info.defaultExtras;
+    for (const auto &[key, value] : spec.overrides) {
+        if (!applyChannelOverride(cfg, extras, key, value)) {
+            return "unknown config override \"" + key +
+                "\" for channel " + spec.channel;
+        }
+    }
+
+    // Mirror the channel constructor/setup asserts: a bad override
+    // must come back as an error row, not abort a worker thread.
+    if (cfg.d < 1 || cfg.d > cfg.N) {
+        return "d=" + std::to_string(cfg.d) +
+            " out of range (need 1 <= d <= N=" +
+            std::to_string(cfg.N) + ")";
+    }
+    if (cfg.M > cfg.N + 1) {
+        return "M=" + std::to_string(cfg.M) + " too large (need M <= "
+            "N+1=" + std::to_string(cfg.N + 1) + ")";
+    }
+    if (cfg.targetSet < 0 || cfg.targetSet >= 32)
+        return "targetSet=" + std::to_string(cfg.targetSet) +
+            " out of range [0, 32)";
+    if (cfg.altSet < 0 || cfg.altSet >= 32)
+        return "altSet=" + std::to_string(cfg.altSet) +
+            " out of range [0, 32)";
+    if (cfg.rounds < 1 || cfg.initIters < 1 || cfg.r < 1 ||
+        cfg.mtSteps < 1 || cfg.mtMeasPerStep < 1 ||
+        cfg.mtSenderIters < 1) {
+        return "iteration counts (rounds, initIters, r, mtSteps,"
+               " mtMeasPerStep, mtSenderIters) must be >= 1";
+    }
+    if (extras.power.rounds < 1 || extras.sgx.rounds < 1 ||
+        extras.sgx.mtSteps < 1 || extras.sgx.mtMeasPerStep < 1) {
+        return "power/SGX round counts must be >= 1";
+    }
+    if (info.requiresSmt && cfg.targetSet < 16) {
+        return "MT channels need a partition-mapped targetSet >= 16,"
+               " got " + std::to_string(cfg.targetSet);
+    }
+    if (info.name.find("misalignment") != std::string::npos &&
+        cfg.M <= cfg.d) {
+        return "misalignment channels need M > d (got M=" +
+            std::to_string(cfg.M) + ", d=" + std::to_string(cfg.d) +
+            ")";
+    }
+
+    const int preamble =
+        spec.preambleBits >= 0 ? spec.preambleBits : cfg.preambleBits;
+    if (preamble < 2)
+        return "preamble too short (" + std::to_string(preamble) +
+            " bits; need >= 2)";
+    return "";
+}
+
+std::string
+validateSpec(const ExperimentSpec &spec)
+{
+    if (!hasChannel(spec.channel))
+        return "unknown channel \"" + spec.channel + "\"";
+    if (findCpuModel(spec.cpu) == nullptr)
+        return "unknown CPU model \"" + spec.cpu + "\"";
+    if (spec.messageBits == 0)
+        return "message must have at least one bit";
+    ChannelConfig cfg;
+    ChannelExtras extras;
+    return resolveSpecConfig(spec, cfg, extras);
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec)
+{
+    ExperimentResult out;
+    out.spec = spec;
+
+    out.error = validateSpec(spec);
+    if (!out.error.empty())
+        return out;
+
+    const CpuModel &cpu = *findCpuModel(spec.cpu);
+    if (!channelSupportedOn(spec.channel, cpu)) {
+        out.skipped = true;
+        out.error = "channel " + spec.channel +
+            " not supported on " + spec.cpu;
+        return out;
+    }
+
+    ChannelConfig cfg;
+    ChannelExtras extras;
+    // Cannot fail: validateSpec() above already resolved this spec.
+    resolveSpecConfig(spec, cfg, extras);
+
+    Core core(cpu, spec.seed);
+    auto channel = makeChannel(spec.channel, core, cfg, extras);
+    out.result = channel->transmit(specMessage(spec),
+                                   spec.preambleBits);
+    out.extras = extras;
+    out.ok = true;
+    return out;
+}
+
+} // namespace lf

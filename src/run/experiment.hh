@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Run descriptors for covert-channel experiments.
+ *
+ * An ExperimentSpec names everything one trial needs — the channel (by
+ * registry name), the CPU model (by Table I name), the RNG seed, the
+ * message, and any config overrides — so that a batch of specs can be
+ * executed by the ExperimentRunner on any number of worker threads
+ * with bit-identical results: each trial constructs its own Core from
+ * its own seed and shares no state with its siblings.
+ */
+
+#ifndef LF_RUN_EXPERIMENT_HH
+#define LF_RUN_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/message.hh"
+#include "core/channel_registry.hh"
+
+namespace lf {
+
+/** Everything needed to run one covert-channel trial. */
+struct ExperimentSpec
+{
+    /** Canonical channel name (see allChannelNames()). */
+    std::string channel;
+    /** CPU model name (see allCpuModels()). */
+    std::string cpu;
+    /** Seed for the trial's Core (and, mixed, its message RNG). */
+    std::uint64_t seed = 1;
+    /** Trial index within a batch (informational; set by
+     *  expandTrials()). */
+    int trial = 0;
+
+    MessagePattern pattern = MessagePattern::Alternating;
+    std::size_t messageBits = 100;
+    /** Calibration bits; < 0 uses the channel's configured default. */
+    int preambleBits = -1;
+
+    /** Optional free-form tag echoed into every sink row (bench
+     *  binaries use the paper's row labels). */
+    std::string label;
+
+    /** ChannelConfig / extras overrides applied on top of the
+     *  channel's registry defaults (keys as in
+     *  applyChannelOverride()). std::map keeps application order
+     *  deterministic. */
+    std::map<std::string, double> overrides;
+};
+
+/** Outcome of one trial. */
+struct ExperimentResult
+{
+    ExperimentSpec spec;
+    bool ok = false;
+    /** True when the channel does not apply to the CPU model (e.g. an
+     *  MT channel on the SMT-disabled E-2288G); not an error. */
+    bool skipped = false;
+    std::string error;  //!< Reason when !ok.
+    ChannelResult result;
+    /** Resolved family-specific knobs the trial actually ran with
+     *  (complements ChannelResult::config). Valid when ok. */
+    ChannelExtras extras;
+};
+
+/**
+ * Derive the seed of trial @p trial from batch seed @p base via a
+ * splitmix64-style mix: decorrelated across trials, independent of
+ * execution order and thread count.
+ */
+std::uint64_t deriveTrialSeed(std::uint64_t base, int trial);
+
+/**
+ * Expand @p spec into @p trials independent trials with derived
+ * per-trial seeds (trial 0 keeps the base seed so a 1-trial batch is
+ * identical to running the spec directly).
+ */
+std::vector<ExperimentSpec> expandTrials(const ExperimentSpec &spec,
+                                         int trials);
+
+/** The trial's message bits (deterministic in the spec alone). */
+std::vector<bool> specMessage(const ExperimentSpec &spec);
+
+/**
+ * Resolve @p spec's config: the channel's registry defaults with the
+ * spec's overrides applied. The channel name must be registered.
+ * @return an error message ("" on success) — unknown override keys
+ *         and unusable resolved values are reported, not fatal, so a
+ *         bad spec in a parallel batch becomes an error row.
+ */
+std::string resolveSpecConfig(const ExperimentSpec &spec,
+                              ChannelConfig &cfg,
+                              ChannelExtras &extras);
+
+/**
+ * Validate names and config resolution; returns an error message or
+ * the empty string. (Support constraints like SMT are reported via
+ * ExperimentResult::skipped, not here.)
+ */
+std::string validateSpec(const ExperimentSpec &spec);
+
+/** Run one trial synchronously on the calling thread. */
+ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+} // namespace lf
+
+#endif // LF_RUN_EXPERIMENT_HH

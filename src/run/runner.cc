@@ -1,0 +1,74 @@
+#include "run/runner.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace lf {
+
+ExperimentRunner::ExperimentRunner(int threads) : threads_(threads)
+{
+    if (threads_ <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
+{
+    std::vector<ExperimentResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(specs.size(),
+                              static_cast<std::size_t>(threads_)));
+
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            try {
+                results[i] = runExperiment(specs[i]);
+            } catch (const std::exception &e) {
+                results[i].spec = specs[i];
+                results[i].ok = false;
+                results[i].error = e.what();
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        work();
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (std::thread &thread : pool)
+        thread.join();
+    return results;
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::runTrials(const std::vector<ExperimentSpec> &specs,
+                            int trials) const
+{
+    lf_assert(trials >= 1, "need at least one trial, got %d", trials);
+    std::vector<ExperimentSpec> batch;
+    batch.reserve(specs.size() * static_cast<std::size_t>(trials));
+    for (const ExperimentSpec &spec : specs) {
+        for (ExperimentSpec &trial_spec : expandTrials(spec, trials))
+            batch.push_back(std::move(trial_spec));
+    }
+    return run(batch);
+}
+
+} // namespace lf

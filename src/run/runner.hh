@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Parallel executor for batches of ExperimentSpecs.
+ *
+ * Trials are embarrassingly parallel: each constructs its own Core
+ * from its own seed, so the runner just fans the batch out across a
+ * std::thread pool via an atomic work index. Results land at the index
+ * of their spec, which together with per-trial seeding makes the
+ * output bit-identical at any worker count.
+ */
+
+#ifndef LF_RUN_RUNNER_HH
+#define LF_RUN_RUNNER_HH
+
+#include <vector>
+
+#include "run/experiment.hh"
+
+namespace lf {
+
+class ExperimentRunner
+{
+  public:
+    /** @param threads Worker count; 0 means hardware concurrency. */
+    explicit ExperimentRunner(int threads = 0);
+
+    /** Resolved worker count (>= 1). */
+    int threads() const { return threads_; }
+
+    /**
+     * Run every spec and return results in spec order. Thread count
+     * affects wall time only, never the results.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs) const;
+
+    /** expandTrials() each spec, then run the concatenated batch. */
+    std::vector<ExperimentResult>
+    runTrials(const std::vector<ExperimentSpec> &specs,
+              int trials) const;
+
+  private:
+    int threads_;
+};
+
+} // namespace lf
+
+#endif // LF_RUN_RUNNER_HH

@@ -1,0 +1,262 @@
+#include "run/sinks.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace lf {
+
+namespace {
+
+/** Round-trip-exact decimal rendering (17 significant digits);
+ *  locale-independent and deterministic, so sink output can be
+ *  byte-compared across runs and re-read without loss. */
+std::string
+jsonNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonString(const std::string &text)
+{
+    return "\"" + jsonEscape(text) + "\"";
+}
+
+std::string
+csvEscape(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string out = "\"";
+    for (char c : text) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+void
+writeConfigJson(const ChannelConfig &cfg, std::ostream &os)
+{
+    os << "{"
+       << "\"targetSet\":" << cfg.targetSet
+       << ",\"altSet\":" << cfg.altSet
+       << ",\"N\":" << cfg.N
+       << ",\"d\":" << cfg.d
+       << ",\"M\":" << cfg.M
+       << ",\"r\":" << cfg.r
+       << ",\"rounds\":" << cfg.rounds
+       << ",\"initIters\":" << cfg.initIters
+       << ",\"stealthy\":" << (cfg.stealthy ? "true" : "false")
+       << ",\"mtSteps\":" << cfg.mtSteps
+       << ",\"mtMeasPerStep\":" << cfg.mtMeasPerStep
+       << ",\"mtSenderIters\":" << cfg.mtSenderIters
+       << ",\"preambleBits\":" << cfg.preambleBits
+       << ",\"receiverBase\":" << cfg.receiverBase
+       << ",\"senderBase\":" << cfg.senderBase
+       << "}";
+}
+
+void
+writeExtrasJson(const ChannelExtras &extras, std::ostream &os)
+{
+    os << "{"
+       << "\"powerRounds\":" << extras.power.rounds
+       << ",\"sgxRounds\":" << extras.sgx.rounds
+       << ",\"sgxMtSteps\":" << extras.sgx.mtSteps
+       << ",\"sgxMtMeasPerStep\":" << extras.sgx.mtMeasPerStep
+       << "}";
+}
+
+} // namespace
+
+void
+ResultSink::writeFile(const std::vector<ExperimentResult> &results,
+                      const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        lf_fatal("cannot open %s for writing", path.c_str());
+    write(results, os);
+    if (!os.good())
+        lf_fatal("write to %s failed", path.c_str());
+}
+
+std::string
+ResultSink::render(const std::vector<ExperimentResult> &results) const
+{
+    std::ostringstream os;
+    write(results, os);
+    return os.str();
+}
+
+TextTableSink::TextTableSink(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTableSink::annotatePaper(const std::string &label,
+                             const std::string &cpu, PaperValues values)
+{
+    paper_[{label, cpu}] = std::move(values);
+}
+
+void
+TextTableSink::write(const std::vector<ExperimentResult> &results,
+                     std::ostream &os) const
+{
+    TextTable table(title_);
+    table.setHeader({"Label", "Channel", "CPU", "Trial",
+                     "Tr. Rate (Kbps)", "Error Rate", "Sim s"});
+    for (const ExperimentResult &res : results) {
+        const std::string label =
+            res.spec.label.empty() ? res.spec.channel : res.spec.label;
+        std::string rate;
+        std::string err;
+        std::string seconds;
+        if (res.ok) {
+            rate = formatKbps(res.result.transmissionKbps);
+            err = formatPercent(res.result.errorRate);
+            seconds = formatFixed(res.result.seconds, 6);
+        } else {
+            rate = err = seconds = "-";
+        }
+        const auto paper = paper_.find({label, res.spec.cpu});
+        if (paper != paper_.end()) {
+            rate += " (paper " + paper->second.rate + ")";
+            err += " (paper " + paper->second.error + ")";
+        }
+        table.addRow({label, res.spec.channel, res.spec.cpu,
+                      std::to_string(res.spec.trial), rate, err,
+                      seconds});
+    }
+    os << table.render();
+}
+
+void
+CsvSink::write(const std::vector<ExperimentResult> &results,
+               std::ostream &os) const
+{
+    os << "label,channel,cpu,seed,trial,pattern,message_bits,"
+          "preamble_bits,ok,skipped,error_rate,transmission_kbps,"
+          "sim_seconds,error\n";
+    for (const ExperimentResult &res : results) {
+        os << csvEscape(res.spec.label) << ","
+           << csvEscape(res.spec.channel) << ","
+           << csvEscape(res.spec.cpu) << ","
+           << res.spec.seed << ","
+           << res.spec.trial << ","
+           << toString(res.spec.pattern) << ","
+           << res.spec.messageBits << ",";
+        if (res.ok)
+            os << res.result.preambleBits;
+        os << "," << (res.ok ? 1 : 0) << ","
+           << (res.skipped ? 1 : 0) << ",";
+        if (res.ok) {
+            os << jsonNumber(res.result.errorRate) << ","
+               << jsonNumber(res.result.transmissionKbps) << ","
+               << jsonNumber(res.result.seconds) << ",";
+        } else {
+            os << ",,,";
+        }
+        os << csvEscape(res.error) << "\n";
+    }
+}
+
+JsonSink::JsonSink(std::string benchmark)
+    : benchmark_(std::move(benchmark))
+{
+}
+
+void
+JsonSink::write(const std::vector<ExperimentResult> &results,
+                std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"benchmark\": " << jsonString(benchmark_) << ",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &res = results[i];
+        os << "    {"
+           << "\"label\":" << jsonString(res.spec.label)
+           << ",\"channel\":" << jsonString(res.spec.channel)
+           << ",\"cpu\":" << jsonString(res.spec.cpu)
+           << ",\"seed\":" << res.spec.seed
+           << ",\"trial\":" << res.spec.trial
+           << ",\"pattern\":" << jsonString(toString(res.spec.pattern))
+           << ",\"message_bits\":" << res.spec.messageBits
+           << ",\"ok\":" << (res.ok ? "true" : "false")
+           << ",\"skipped\":" << (res.skipped ? "true" : "false");
+        if (!res.error.empty())
+            os << ",\"error\":" << jsonString(res.error);
+        if (res.ok) {
+            os << ",\"preamble_bits\":" << res.result.preambleBits
+               << ",\"error_rate\":" << jsonNumber(res.result.errorRate)
+               << ",\"transmission_kbps\":"
+               << jsonNumber(res.result.transmissionKbps)
+               << ",\"sim_seconds\":" << jsonNumber(res.result.seconds)
+               << ",\"mean_obs0\":" << jsonNumber(res.result.meanObs0)
+               << ",\"mean_obs1\":" << jsonNumber(res.result.meanObs1)
+               << ",\"sent\":"
+               << jsonString(toBitString(res.result.sent))
+               << ",\"received\":"
+               << jsonString(toBitString(res.result.received))
+               << ",\"config\":";
+            writeConfigJson(res.result.config, os);
+            os << ",\"extras\":";
+            writeExtrasJson(res.extras, os);
+            os << ",\"overrides\":{";
+            bool first = true;
+            for (const auto &[key, value] : res.spec.overrides) {
+                os << (first ? "" : ",") << jsonString(key) << ":"
+                   << jsonNumber(value);
+                first = false;
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+std::string
+benchJsonFileName(const std::string &bench_name)
+{
+    return "BENCH_" + bench_name + ".json";
+}
+
+} // namespace lf

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Pluggable result sinks for ExperimentRunner batches.
+ *
+ * Three emitters cover the three consumers of experiment output:
+ *   TextTableSink — human-readable table, optionally annotated with
+ *                   the paper's published value per (label, cpu) cell
+ *                   so sim-vs-paper shape can be checked at a glance;
+ *   CsvSink       — flat rows for spreadsheets / pandas;
+ *   JsonSink      — self-describing machine-readable rows (the
+ *                   BENCH_*.json files the bench binaries emit).
+ *
+ * All sinks are deterministic functions of the result batch: output
+ * is byte-identical regardless of the worker-thread count that
+ * produced the results.
+ */
+
+#ifndef LF_RUN_SINKS_HH
+#define LF_RUN_SINKS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "run/experiment.hh"
+
+namespace lf {
+
+/** Interface: serialize a result batch to a stream. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    virtual void write(const std::vector<ExperimentResult> &results,
+                       std::ostream &os) const = 0;
+
+    /** write() to @p path; fatal on I/O failure. */
+    void writeFile(const std::vector<ExperimentResult> &results,
+                   const std::string &path) const;
+
+    /** write() into a string (handy for tests and diffing). */
+    std::string render(
+        const std::vector<ExperimentResult> &results) const;
+};
+
+/** The paper's published numbers for one table cell. */
+struct PaperValues
+{
+    std::string rate;  //!< e.g. "419.67" (Kbps), "-" if absent.
+    std::string error; //!< e.g. "6.48%".
+};
+
+class TextTableSink : public ResultSink
+{
+  public:
+    explicit TextTableSink(std::string title = "");
+
+    /** Attach the paper's value for the (label, cpu) cell. */
+    void annotatePaper(const std::string &label, const std::string &cpu,
+                       PaperValues values);
+
+    void write(const std::vector<ExperimentResult> &results,
+               std::ostream &os) const override;
+
+  private:
+    std::string title_;
+    std::map<std::pair<std::string, std::string>, PaperValues> paper_;
+};
+
+class CsvSink : public ResultSink
+{
+  public:
+    void write(const std::vector<ExperimentResult> &results,
+               std::ostream &os) const override;
+};
+
+class JsonSink : public ResultSink
+{
+  public:
+    /** @param benchmark Top-level "benchmark" field value. */
+    explicit JsonSink(std::string benchmark = "experiment");
+
+    void write(const std::vector<ExperimentResult> &results,
+               std::ostream &os) const override;
+
+  private:
+    std::string benchmark_;
+};
+
+/** Canonical output file name for a bench: "BENCH_<name>.json". */
+std::string benchJsonFileName(const std::string &bench_name);
+
+} // namespace lf
+
+#endif // LF_RUN_SINKS_HH

@@ -5,7 +5,8 @@
 namespace lf {
 
 Core::Core(const CpuModel &model, std::uint64_t seed)
-    : model_(model), engine_(model.frontend), backend_(&engine_),
+    : model_(model), seed_(seed), engine_(model.frontend),
+      backend_(&engine_),
       rng_(seed ^ 0x5eedc0de12345678ULL),
       energyModel_(model.energy, model.freqGhz),
       rapl_(model.rapl, model.freqGhz, Rng(seed ^ 0x4a91ULL))

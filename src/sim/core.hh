@@ -33,6 +33,7 @@ class Core
     explicit Core(const CpuModel &model, std::uint64_t seed = 1);
 
     const CpuModel &model() const { return model_; }
+    std::uint64_t seed() const { return seed_; }
     FrontendEngine &frontend() { return engine_; }
     const FrontendEngine &frontend() const { return engine_; }
     Rng &rng() { return rng_; }
@@ -106,6 +107,7 @@ class Core
     void syncRaplEnergy();
 
     CpuModel model_;
+    std::uint64_t seed_;
     FrontendEngine engine_;
     Backend backend_;
     Rng rng_;

@@ -119,11 +119,20 @@ sgxCpuModels()
 const CpuModel &
 cpuModelByName(const std::string &name)
 {
+    const CpuModel *model = findCpuModel(name);
+    if (model == nullptr)
+        lf_fatal("unknown CPU model '%s'", name.c_str());
+    return *model;
+}
+
+const CpuModel *
+findCpuModel(const std::string &name)
+{
     for (const CpuModel *model : allCpuModels()) {
         if (model->name == name)
-            return *model;
+            return model;
     }
-    lf_fatal("unknown CPU model '%s'", name.c_str());
+    return nullptr;
 }
 
 } // namespace lf

@@ -95,6 +95,9 @@ std::vector<const CpuModel *> sgxCpuModels();
 /** Look up a model by name; fatal if unknown. */
 const CpuModel &cpuModelByName(const std::string &name);
 
+/** Look up a model by name; nullptr if unknown. */
+const CpuModel *findCpuModel(const std::string &name);
+
 } // namespace lf
 
 #endif // LF_SIM_CPU_MODEL_HH

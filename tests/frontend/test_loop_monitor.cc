@@ -148,8 +148,9 @@ TEST(AlignmentRule, MonotoneInMisalignment)
     // Adding misaligned blocks never un-collides a colliding loop.
     for (int a = 0; a <= 8; ++a) {
         for (int m = 0; m < 8; ++m) {
-            if (LoopMonitor::alignmentCollides(a, m))
+            if (LoopMonitor::alignmentCollides(a, m)) {
                 EXPECT_TRUE(LoopMonitor::alignmentCollides(a, m + 1));
+            }
         }
     }
 }

@@ -40,8 +40,9 @@ TEST_P(MisalignmentPairs, LsdEngagementMatchesPaper)
     runLoopIters(core, 0, chain, 40);
     EXPECT_EQ(core.frontend().lsdActive(0), c.lsdStreams)
         << c.aligned << " aligned + " << c.misaligned << " misaligned";
-    if (!c.lsdStreams)
+    if (!c.lsdStreams) {
         EXPECT_EQ(core.counters(0).uopsLsd, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperSec4G, MisalignmentPairs,

@@ -9,125 +9,138 @@
  *     the misalignment channels and Fig. 2's middle gap.
  *  3. RAPL update interval — the power channel's bandwidth cap.
  *  4. Measurement noise level — channel error-rate sensitivity.
+ *
+ * Each ablation is a SweepSpec over a "model." CPU-knob axis; all
+ * four sweeps are expanded up front and executed as ONE parallel
+ * ExperimentRunner batch. Emits BENCH_ablation.json.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "core/nonmt_channels.hh"
-#include "core/power_channels.hh"
+#include "common/table.hh"
+#include "run/report.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
-
-namespace {
-
-ChannelResult
-runEviction(const CpuModel &model, std::uint64_t seed)
-{
-    Core core(model, seed);
-    ChannelConfig cfg;
-    cfg.d = 6;
-    NonMtEvictionChannel channel(core, cfg);
-    return channel.transmit(bench::alternatingMessage());
-}
-
-} // namespace
 
 int
 main()
 {
     bench::banner("Ablations of model design choices (Gold 6226 base)");
 
-    // 1. Switch penalty sweep.
+    // 1. Switch penalty sweep (eviction-channel signal).
+    SweepSpec penalty;
+    penalty.label = "switch-penalty";
+    penalty.channels = {"nonmt-fast-eviction"};
+    penalty.cpus = {gold6226().name};
+    penalty.axes = {{"model.dsbToMiteSwitch", {0, 1, 3, 6, 12}}};
+    penalty.seed = 1;
+
+    // 2. LSD loop bubble sweep (misalignment-channel separation).
+    SweepSpec bubble;
+    bubble.label = "lsd-bubble";
+    bubble.channels = {"nonmt-fast-misalignment"};
+    bubble.cpus = {gold6226().name};
+    bubble.axes = {{"model.lsdLoopBubble", {0, 1, 2, 4, 8}}};
+    bubble.seed = 40;
+
+    // 3. RAPL interval sweep (power-channel error).
+    SweepSpec rapl;
+    rapl.label = "rapl-interval";
+    rapl.channels = {"power-eviction"};
+    rapl.cpus = {gold6226().name};
+    rapl.axes = {{"model.raplUpdateIntervalUs", {20, 50, 200, 1000}}};
+    rapl.baseOverrides["powerRounds"] = 8000;
+    rapl.messageBits = 10;
+    rapl.preambleBits = 6;
+    rapl.seed = 60;
+
+    // 4. Noise sweep (stealthy misalignment error).
+    SweepSpec noise;
+    noise.label = "timing-noise";
+    noise.channels = {"nonmt-stealthy-misalignment"};
+    noise.cpus = {gold6226().name};
+    noise.axes = {{"model.jitterPerKcycle", {0, 2, 5, 10, 20}}};
+    noise.seed = 80;
+
+    std::vector<ExperimentSpec> specs;
+    std::vector<std::size_t> offsets;
+    for (const SweepSpec *sweep : {&penalty, &bubble, &rapl, &noise}) {
+        offsets.push_back(specs.size());
+        for (ExperimentSpec &spec : expandSweep(*sweep))
+            specs.push_back(std::move(spec));
+    }
+    offsets.push_back(specs.size());
+
+    const auto results = ExperimentRunner().run(specs);
+    const auto slice = [&](std::size_t s) {
+        return std::vector<ExperimentResult>(
+            results.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
+            results.begin() +
+                static_cast<std::ptrdiff_t>(offsets[s + 1]));
+    };
+
     {
         TextTable table("1. DSB->MITE switch penalty vs eviction-"
                         "channel signal");
         table.setHeader({"Penalty (cycles)", "Obs mean0", "Obs mean1",
                          "Signal (cycles)", "Error"});
-        for (Cycles penalty : {0, 1, 3, 6, 12}) {
-            CpuModel model = gold6226();
-            model.frontend.dsbToMiteSwitch = penalty;
-            const ChannelResult res = runEviction(model, 1 + penalty);
-            table.addRow({std::to_string(penalty),
-                          formatFixed(res.meanObs0, 0),
-                          formatFixed(res.meanObs1, 0),
-                          formatFixed(res.meanObs1 - res.meanObs0, 0),
-                          formatPercent(res.errorRate)});
+        for (const ExperimentResult &res : slice(0)) {
+            table.addRow({formatFixed(res.spec.overrides.at(
+                              "model.dsbToMiteSwitch"), 0),
+                          formatFixed(res.result.meanObs0, 0),
+                          formatFixed(res.result.meanObs1, 0),
+                          formatFixed(res.result.meanObs1 -
+                                      res.result.meanObs0, 0),
+                          formatPercent(res.result.errorRate)});
         }
         std::printf("%s\n", table.render().c_str());
     }
 
-    // 2. LSD loop bubble sweep (misalignment-channel separation).
     {
         TextTable table("2. LSD loop bubble vs misalignment-channel "
                         "signal");
         table.setHeader({"Bubble (cycles)", "Signal (cycles)",
                          "Error"});
-        for (Cycles bubble : {0, 1, 2, 4, 8}) {
-            CpuModel model = gold6226();
-            model.frontend.lsdLoopBubble = bubble;
-            Core core(model, 40 + bubble);
-            ChannelConfig cfg;
-            cfg.d = 5;
-            cfg.M = 8;
-            NonMtMisalignmentChannel channel(core, cfg);
-            const ChannelResult res =
-                channel.transmit(bench::alternatingMessage());
-            table.addRow({std::to_string(bubble),
-                          formatFixed(res.meanObs1 - res.meanObs0, 0),
-                          formatPercent(res.errorRate)});
+        for (const ExperimentResult &res : slice(1)) {
+            table.addRow({formatFixed(res.spec.overrides.at(
+                              "model.lsdLoopBubble"), 0),
+                          formatFixed(res.result.meanObs1 -
+                                      res.result.meanObs0, 0),
+                          formatPercent(res.result.errorRate)});
         }
         std::printf("%s\n", table.render().c_str());
     }
 
-    // 3. RAPL interval sweep (power-channel error).
     {
         TextTable table("3. RAPL update interval vs power-channel "
                         "error");
         table.setHeader({"Interval (us)", "Rate (Kbps)", "Error"});
-        for (double interval : {20.0, 50.0, 200.0, 1000.0}) {
-            CpuModel model = gold6226();
-            model.rapl.updateIntervalUs = interval;
-            Core core(model, 60 + static_cast<unsigned>(interval));
-            ChannelConfig cfg;
-            cfg.d = 6;
-            cfg.stealthy = true;
-            PowerChannelConfig power_cfg;
-            power_cfg.rounds = 8000;
-            PowerEvictionChannel channel(core, cfg, power_cfg);
-            Rng rng(5);
-            const auto msg =
-                makeMessage(MessagePattern::Alternating, 10, rng);
-            const ChannelResult res = channel.transmit(msg, 6);
-            table.addRow({formatFixed(interval, 0),
-                          formatKbps(res.transmissionKbps),
-                          formatPercent(res.errorRate)});
+        for (const ExperimentResult &res : slice(2)) {
+            table.addRow({formatFixed(res.spec.overrides.at(
+                              "model.raplUpdateIntervalUs"), 0),
+                          formatKbps(res.result.transmissionKbps),
+                          formatPercent(res.result.errorRate)});
         }
         std::printf("%s\n", table.render().c_str());
     }
 
-    // 4. Noise sweep.
     {
         TextTable table("4. Timing noise (jitter/kcycle) vs channel "
                         "error");
         table.setHeader({"Jitter sigma per kcycle", "Error (stealthy "
                          "misalignment)"});
-        for (double jitter : {0.0, 2.0, 5.0, 10.0, 20.0}) {
-            CpuModel model = gold6226();
-            model.noise.jitterPerKcycle = jitter;
-            Core core(model, 80 + static_cast<unsigned>(jitter));
-            ChannelConfig cfg;
-            cfg.d = 5;
-            cfg.M = 8;
-            cfg.stealthy = true;
-            NonMtMisalignmentChannel channel(core, cfg);
-            const ChannelResult res =
-                channel.transmit(bench::alternatingMessage());
-            table.addRow({formatFixed(jitter, 1),
-                          formatPercent(res.errorRate)});
+        for (const ExperimentResult &res : slice(3)) {
+            table.addRow({formatFixed(res.spec.overrides.at(
+                              "model.jitterPerKcycle"), 1),
+                          formatPercent(res.result.errorRate)});
         }
         std::printf("%s\n", table.render().c_str());
     }
+
+    JsonSink("ablation_design_choices")
+        .writeFile(results, benchJsonFileName("ablation"));
+    std::printf("Wrote %s\n", benchJsonFileName("ablation").c_str());
     return 0;
 }

@@ -13,8 +13,9 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "common/table.hh"
 #include "fingerprint/patch_detect.hh"
+#include "run/report.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -61,7 +62,6 @@ main()
     std::printf("Expected shape: timing and power of the small loop"
                 " diverge from the\n  large loop only under patch1"
                 " (LSD enabled); near-perfect detection.\n");
-    const bool ok = accuracy > 0.95;
-    std::printf("Shape check: %s\n", ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+    return bench::shapeCheck("near-perfect patch detection",
+                             accuracy > 0.95);
 }

@@ -15,10 +15,10 @@
 #include <cstdio>
 #include <algorithm>
 
-#include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "fingerprint/side_channel.hh"
 #include "fingerprint/workloads.hh"
+#include "run/report.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;

@@ -14,9 +14,10 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
 #include "common/stats.hh"
+#include "common/table.hh"
 #include "isa/mix_block.hh"
+#include "run/report.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
 #include "sim/executor.hh"
@@ -101,8 +102,8 @@ main()
     std::printf("Expected shape (paper Fig. 2): DSB < LSD << MITE+DSB;"
                 "\n  LSD-vs-DSB gap drives misalignment attacks,"
                 "\n  (LSD|DSB)-vs-MITE gap drives eviction attacks.\n");
-    const bool ok = dsb.mean() < lsd.mean() &&
-        lsd.mean() * 1.5 < mite.mean() * 8.0 / 9.0;
-    std::printf("Shape check: %s\n", ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+    return bench::shapeCheck("DSB < LSD << MITE+DSB",
+                             dsb.mean() < lsd.mean() &&
+                                 lsd.mean() * 1.5 <
+                                     mite.mean() * 8.0 / 9.0);
 }

@@ -12,8 +12,9 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "common/table.hh"
 #include "isa/mix_block.hh"
+#include "run/report.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
 #include "sim/executor.hh"
@@ -95,9 +96,10 @@ main()
     std::printf("Expected shape: ordered issue has MORE LCP stall"
                 " cycles,\n  mixed issue has FAR MORE switch penalty"
                 " cycles, and mixed IPC > ordered IPC.\n");
-    const bool ok = ordered.lcpStallCycles > mixed.lcpStallCycles &&
-        mixed.switchPenaltyCycles > 10.0 * ordered.switchPenaltyCycles &&
-        mixed.ipc > ordered.ipc;
-    std::printf("Shape check: %s\n", ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+    return bench::shapeCheck(
+        "ordered stalls more, mixed switches more",
+        ordered.lcpStallCycles > mixed.lcpStallCycles &&
+            mixed.switchPenaltyCycles >
+                10.0 * ordered.switchPenaltyCycles &&
+            mixed.ipc > ordered.ipc);
 }

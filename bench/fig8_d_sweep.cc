@@ -4,9 +4,10 @@
  * d = 1..8 on the three SMT machines: transmission rate, error rate,
  * and effective rate (rate x (1 - error)).
  *
- * The sweep is expressed as a batch of ExperimentSpecs with a "d"
- * config override per point and fanned out by the ExperimentRunner;
- * BENCH_fig8.json carries the machine-readable sweep.
+ * The sweep is one SweepSpec — channel x SMT CPUs x a "d" axis —
+ * expanded and fanned out by the ExperimentRunner in a single thread
+ * pool; BENCH_fig8.json carries the machine-readable sweep and the
+ * per-cell summary statistics are printed via the SweepSummarySink.
  *
  * Expected shape: transmission rate rises with d (the sender's encode
  * step shrinks as N+1-d falls); error is worst at small d where the
@@ -15,9 +16,9 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "run/runner.hh"
-#include "run/sinks.hh"
+#include "common/table.hh"
+#include "run/report.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -27,21 +28,14 @@ main()
 {
     bench::banner("Fig. 8 — MT eviction attack vs receiver ways d");
 
-    std::vector<ExperimentSpec> specs;
-    for (const CpuModel *cpu : smtCpuModels()) {
-        for (int d = 1; d <= 8; ++d) {
-            ExperimentSpec spec;
-            spec.label = "d=" + std::to_string(d);
-            spec.channel = "mt-eviction";
-            spec.cpu = cpu->name;
-            spec.seed = 900 + static_cast<std::uint64_t>(d);
-            spec.messageBits = bench::kMessageBits;
-            spec.overrides["d"] = d;
-            specs.push_back(spec);
-        }
-    }
+    SweepSpec sweep;
+    sweep.channels = {"mt-eviction"};
+    for (const CpuModel *cpu : smtCpuModels())
+        sweep.cpus.push_back(cpu->name);
+    sweep.axes = {{"d", {1, 2, 3, 4, 5, 6, 7, 8}}};
+    sweep.seed = 900;
 
-    const auto results = ExperimentRunner().run(specs);
+    const auto results = runSweep(sweep, ExperimentRunner());
 
     TextTable table("Rate/error vs d (alternating message)");
     table.setHeader({"CPU", "d", "Tr. Rate (Kbps)", "Error Rate",

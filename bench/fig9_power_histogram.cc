@@ -10,9 +10,10 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
 #include "common/stats.hh"
+#include "common/table.hh"
 #include "isa/mix_block.hh"
+#include "run/report.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
 #include "sim/executor.hh"
@@ -78,8 +79,7 @@ main()
     summary.addRow({"MITE+DSB", formatFixed(mite.mean()), "~65"});
     std::printf("%s\n", summary.render().c_str());
 
-    const bool ok = lsd.mean() < dsb.mean() && dsb.mean() < mite.mean();
-    std::printf("Shape check (LSD < DSB < MITE+DSB): %s\n",
-                ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+    return bench::shapeCheck("LSD < DSB < MITE+DSB",
+                             lsd.mean() < dsb.mean() &&
+                                 dsb.mean() < mite.mean());
 }

@@ -1,15 +1,17 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator substrate itself:
- * core tick throughput, chunk building, DSB lookups, and end-to-end
- * covert-channel bit cost. These guard the simulation speed that the
- * table/figure benches depend on.
+ * core tick throughput, chunk building, DSB lookups, end-to-end
+ * covert-channel bit cost, and the run-layer overheads (sweep grid
+ * expansion, one full experiment trial). These guard the simulation
+ * speed that the table/figure benches depend on.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "core/nonmt_channels.hh"
 #include "isa/mix_block.hh"
+#include "run/sweep.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
 #include "sim/executor.hh"
@@ -83,6 +85,41 @@ BM_ChannelBit(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ChannelBit);
+
+void
+BM_SweepExpansion(benchmark::State &state)
+{
+    SweepSpec sweep;
+    sweep.channels = allChannelNames();
+    for (const CpuModel *cpu : allCpuModels())
+        sweep.cpus.push_back(cpu->name);
+    sweep.axes = {{"d", {1, 2, 3, 4, 5, 6, 7, 8}}};
+    sweep.trials = 4;
+    std::size_t specs = 0;
+    for (auto _ : state) {
+        const auto batch = expandSweep(sweep);
+        benchmark::DoNotOptimize(batch.data());
+        specs = batch.size();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(specs));
+}
+BENCHMARK(BM_SweepExpansion);
+
+void
+BM_RunExperimentTrial(benchmark::State &state)
+{
+    ExperimentSpec spec;
+    spec.channel = "nonmt-fast-eviction";
+    spec.cpu = "E-2288G";
+    spec.messageBits = 8;
+    for (auto _ : state) {
+        const auto res = runExperiment(spec);
+        benchmark::DoNotOptimize(res.ok);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_RunExperimentTrial);
 
 } // namespace
 } // namespace lf

@@ -11,9 +11,10 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "common/table.hh"
 #include "fingerprint/side_channel.hh"
 #include "fingerprint/workloads.hh"
+#include "run/report.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -54,9 +55,8 @@ main()
     std::printf("Classification accuracy: %.1f%%\n",
                 study.classificationAccuracy * 100.0);
 
-    const bool ok =
+    return bench::shapeCheck(
+        "inter >> intra, accurate classification",
         study.meanInterDistance > 2.0 * study.meanIntraDistance &&
-        study.classificationAccuracy > 0.9;
-    std::printf("Shape check: %s\n", ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+            study.classificationAccuracy > 0.9);
 }

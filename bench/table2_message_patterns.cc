@@ -4,6 +4,11 @@
  * message patterns (all 0s / all 1s / alternating / random) on the
  * three SMT-capable machines.
  *
+ * One SweepSpec covers the whole table: the mt-eviction channel x the
+ * SMT CPUs x all four message patterns, with d = 1 as a fixed
+ * override, executed as a single ExperimentRunner batch and emitted
+ * to BENCH_table2.json.
+ *
  * Expected shape: uniform messages (all 0s / all 1s) transmit fastest
  * with ~0% error; alternating is slower with moderate error; random
  * is worst (frequent, unstable path changes).
@@ -11,8 +16,9 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "core/mt_channels.hh"
+#include "common/table.hh"
+#include "run/report.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -35,36 +41,46 @@ main()
         {"2.68%", "10.69%", "12.56%"},
         {"22.57%", "18.53%", "19.83%"}};
 
+    const auto cpus = smtCpuModels();
+    const auto patterns = allMessagePatterns();
+
+    SweepSpec sweep;
+    sweep.channels = {"mt-eviction"};
+    for (const CpuModel *cpu : cpus)
+        sweep.cpus.push_back(cpu->name);
+    sweep.patterns = patterns;
+    sweep.baseOverrides["d"] = 1;
+    sweep.seed = 100;
+
+    const auto results = runSweep(sweep, ExperimentRunner());
+
+    // Expansion order is cpu-major, pattern-minor; index accordingly.
+    const auto result_at = [&](std::size_t c,
+                               std::size_t p) -> const ChannelResult & {
+        return results[c * patterns.size() + p].result;
+    };
+
     TextTable table("MT Eviction-Based Attack, d = 1");
     table.setHeader({"Pattern", "Metric", "G-6226", "E-2174G",
                      "E-2286G"});
-
-    const auto patterns = allMessagePatterns();
-    const auto cpus = smtCpuModels();
-    std::vector<std::vector<double>> rates(patterns.size());
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         std::vector<std::string> rate_row = {toString(patterns[p]),
                                              "Tr. Rate (Kbps)"};
         std::vector<std::string> err_row = {"", "Error Rate"};
         for (std::size_t c = 0; c < cpus.size(); ++c) {
-            Core core(*cpus[c], 100 + p * 7 + c);
-            ChannelConfig cfg;
-            cfg.d = 1;
-            MtEvictionChannel channel(core, cfg);
-            Rng rng(33 + p);
-            const auto msg =
-                makeMessage(patterns[p], bench::kMessageBits, rng);
-            const ChannelResult res = channel.transmit(msg);
-            rates[p].push_back(res.transmissionKbps);
+            const ChannelResult &res = result_at(c, p);
             rate_row.push_back(bench::cmpCell(res.transmissionKbps,
                                               paper_rate[p][c]));
-            err_row.push_back(formatPercent(res.errorRate) + " (paper " +
-                              paper_err[p][c] + ")");
+            err_row.push_back(formatPercent(res.errorRate) +
+                              " (paper " + paper_err[p][c] + ")");
         }
         table.addRow(rate_row);
         table.addRow(err_row);
     }
     std::printf("%s\n", table.render().c_str());
+    JsonSink("table2_message_patterns")
+        .writeFile(results, benchJsonFileName("table2"));
+    std::printf("Wrote %s\n", benchJsonFileName("table2").c_str());
 
     std::printf("Expected shape: all-0s/all-1s best, random worst; "
                 "error grows from uniform to random patterns.\n");

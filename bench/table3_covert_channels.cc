@@ -4,10 +4,11 @@
  * misalignment-based covert channel (d = 6 for eviction, d = 5 / M = 8
  * for misalignment; alternating message) across the four machines.
  *
- * Channels are named through the registry and executed as one batch by
- * the parallel ExperimentRunner; MT cells on the SMT-disabled E-2288G
- * come back as skipped rows (the paper prints "-" there too). Besides
- * the sim-vs-paper text table this emits BENCH_table3.json.
+ * Each paper row is one SweepSpec (fixed label, one channel, all four
+ * CPUs); the rows are expanded together and executed as one
+ * ExperimentRunner batch. MT cells on the SMT-disabled E-2288G come
+ * back as skipped rows (the paper prints "-" there too). Besides the
+ * sim-vs-paper text table this emits BENCH_table3.json.
  *
  * Expected shape: non-MT >> MT; fast > stealthy; the fastest channel
  * is non-MT fast misalignment with ~0% error; the E-2288G is the
@@ -16,9 +17,8 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "run/runner.hh"
-#include "run/sinks.hh"
+#include "run/report.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -67,17 +67,17 @@ main()
     std::vector<ExperimentSpec> specs;
     std::uint64_t seed = 500;
     for (const RowSpec &row : rows) {
+        SweepSpec sweep;
+        sweep.label = row.label;
+        sweep.channels = {row.channel};
         for (std::size_t c = 0; c < cpus.size(); ++c) {
-            ExperimentSpec spec;
-            spec.label = row.label;
-            spec.channel = row.channel;
-            spec.cpu = cpus[c]->name;
-            spec.seed = ++seed;
-            spec.messageBits = bench::kMessageBits;
-            specs.push_back(spec);
-            text.annotatePaper(row.label, spec.cpu,
+            sweep.cpus.push_back(cpus[c]->name);
+            text.annotatePaper(row.label, cpus[c]->name,
                                {row.paper_rate[c], row.paper_err[c]});
         }
+        sweep.seed = ++seed;
+        for (ExperimentSpec &spec : expandSweep(sweep))
+            specs.push_back(std::move(spec));
     }
 
     const auto results = ExperimentRunner().run(specs);

@@ -4,12 +4,12 @@
  * misalignment variants) on the Gold 6226, observed through the
  * simulated RAPL counter.
  *
- * The paper interleaves p = q = 240,000 rounds per bit; the registry
- * default uses fewer rounds to keep simulation turnaround small and
- * this bench reports both the simulated rate and the rate normalized
- * to the paper's round count (per-bit time scales linearly in rounds).
- * Channels run through the ExperimentRunner; BENCH_table5.json carries
- * the machine-readable rows.
+ * The paper interleaves p = q = 240,000 rounds per bit; the sweep uses
+ * fewer rounds (a powerRounds base override) to keep simulation
+ * turnaround small and this bench reports both the simulated rate and
+ * the rate normalized to the paper's round count (per-bit time scales
+ * linearly in rounds). One SweepSpec covers both channels;
+ * BENCH_table5.json carries the machine-readable rows.
  *
  * Expected shape: ~three orders of magnitude slower than the timing
  * channels, but comfortably above the 100 bps TCSEC threshold.
@@ -17,9 +17,9 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "run/runner.hh"
-#include "run/sinks.hh"
+#include "common/table.hh"
+#include "run/report.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -29,15 +29,6 @@ namespace {
 constexpr int kPaperRounds = 240000;
 constexpr int kSimRounds = 20000;
 
-struct RowSpec
-{
-    const char *label;
-    const char *channel;
-    const char *paper_rate;
-    const char *paper_err;
-    std::uint64_t seed;
-};
-
 } // namespace
 
 int
@@ -45,26 +36,19 @@ main()
 {
     bench::banner("Table V — non-MT power channels (Gold 6226, d = 6)");
 
-    const RowSpec rows[] = {
-        {"Eviction-Based", "power-eviction", "0.66", "18.87%", 61},
-        {"Misalignment-Based", "power-misalignment", "0.63", "9.07%",
-         62},
-    };
+    const char *labels[] = {"Eviction-Based", "Misalignment-Based"};
+    const char *paper_rate[] = {"0.66", "0.63"};
+    const char *paper_err[] = {"18.87%", "9.07%"};
 
-    std::vector<ExperimentSpec> specs;
-    for (const RowSpec &row : rows) {
-        ExperimentSpec spec;
-        spec.label = row.label;
-        spec.channel = row.channel;
-        spec.cpu = gold6226().name;
-        spec.seed = row.seed;
-        spec.messageBits = 12;
-        spec.preambleBits = 8;
-        spec.overrides["powerRounds"] = kSimRounds;
-        specs.push_back(spec);
-    }
+    SweepSpec sweep;
+    sweep.channels = {"power-eviction", "power-misalignment"};
+    sweep.cpus = {gold6226().name};
+    sweep.baseOverrides["powerRounds"] = kSimRounds;
+    sweep.messageBits = 12;
+    sweep.preambleBits = 8;
+    sweep.seed = 61;
 
-    const auto results = ExperimentRunner().run(specs);
+    const auto results = runSweep(sweep, ExperimentRunner());
 
     TextTable table("Power channels via RAPL");
     table.setHeader({"Channel", "Sim rate (Kbps, 20k rounds)",
@@ -74,11 +58,11 @@ main()
         const double normalized = res.transmissionKbps *
             static_cast<double>(kSimRounds) /
             static_cast<double>(kPaperRounds);
-        table.addRow({rows[i].label, formatKbps(res.transmissionKbps),
+        table.addRow({labels[i], formatKbps(res.transmissionKbps),
                       formatKbps(normalized) + " (paper " +
-                          rows[i].paper_rate + ")",
+                          paper_rate[i] + ")",
                       formatPercent(res.errorRate) + " (paper " +
-                          rows[i].paper_err + ")"});
+                          paper_err[i] + ")"});
     }
     std::printf("%s\n", table.render().c_str());
     JsonSink("table5_power_channels")

@@ -2,8 +2,9 @@
  * @file
  * Table VI: covert channels leaking from an SGX enclave (d = 6
  * eviction / d = 5, M = 8 misalignment; alternating message) on the
- * three SGX-capable machines, run as one parallel ExperimentRunner
- * batch over the sgx-* registry channels. Emits BENCH_table6.json.
+ * three SGX-capable machines. Each paper row is one SweepSpec (fixed
+ * label, one sgx-* channel, the SGX CPUs); the rows run as one
+ * parallel ExperimentRunner batch. Emits BENCH_table6.json.
  *
  * Expected shape: non-MT SGX rates are roughly 1/25 - 1/30 of the
  * non-SGX non-MT rates (one enclave entry/exit per bit plus thousands
@@ -13,9 +14,8 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "run/runner.hh"
-#include "run/sinks.hh"
+#include "run/report.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -60,18 +60,19 @@ main()
     std::vector<ExperimentSpec> specs;
     std::uint64_t seed = 700;
     for (const RowSpec &row : rows) {
+        SweepSpec sweep;
+        sweep.label = row.label;
+        sweep.channels = {row.channel};
         for (std::size_t c = 0; c < cpus.size(); ++c) {
-            ExperimentSpec spec;
-            spec.label = row.label;
-            spec.channel = row.channel;
-            spec.cpu = cpus[c]->name;
-            spec.seed = ++seed;
-            spec.messageBits = kSgxBits;
-            spec.preambleBits = 10;
-            specs.push_back(spec);
-            text.annotatePaper(row.label, spec.cpu,
+            sweep.cpus.push_back(cpus[c]->name);
+            text.annotatePaper(row.label, cpus[c]->name,
                                {row.paper_rate[c], row.paper_err[c]});
         }
+        sweep.messageBits = kSgxBits;
+        sweep.preambleBits = 10;
+        sweep.seed = ++seed;
+        for (ExperimentSpec &spec : expandSweep(sweep))
+            specs.push_back(std::move(spec));
     }
 
     const auto results = ExperimentRunner().run(specs);

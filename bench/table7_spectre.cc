@@ -13,7 +13,9 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "run/report.hh"
 #include "spectre/spectre.hh"
 #include "sim/cpu_model.hh"
 
@@ -57,8 +59,6 @@ main()
     std::printf("Expected shape: Frontend has the lowest L1 miss rate"
                 " of all channels\n  (no data-cache footprint, warm"
                 " L1I), data-side baselines the highest.\n");
-    const bool ok = frontend_rate < min_other;
-    std::printf("Shape check (frontend lowest): %s\n",
-                ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+    return bench::shapeCheck("frontend lowest",
+                             frontend_rate < min_other);
 }

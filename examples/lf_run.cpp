@@ -1,27 +1,31 @@
 /**
  * @file
- * lf_run — command-line driver for the channel registry and the
- * parallel ExperimentRunner.
+ * lf_run — command-line driver for the channel registry, the parallel
+ * ExperimentRunner, and the sweep engine.
  *
  *   lf_run --list
  *   lf_run --channel nonmt-fast-eviction --cpu all --trials 8 \
  *          --threads 4 --json out.json
- *   lf_run --channel mt-eviction --set d=3 --bits 60 --csv sweep.csv
+ *   lf_run --channel mt-eviction --cpu "Gold 6226" \
+ *          --sweep d=1:8:1 --trials 4 --json fig8.json
+ *   lf_run --channel all --sweep model.jitterPerKcycle=0|5|20 \
+ *          --shard 0/4 --csv shard0.csv
  *
- * Every run is deterministic in (--channel, --cpu, --seed, --trials,
- * message options): the thread count changes wall time only, never
- * the emitted bytes.
+ * Every run is deterministic in the spec alone: the thread count
+ * changes wall time only, never the emitted bytes, and a --shard i/n
+ * slice emits exactly the rows the full run would.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hh"
-#include "run/runner.hh"
-#include "run/sinks.hh"
+#include "run/cli.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -37,10 +41,10 @@ usage(std::FILE *to)
         "  --list              list registered channels and exit\n"
         "  --channel NAME      channel to run (repeatable; 'all' for\n"
         "                      every registered channel)\n"
-        "  --cpu NAME          CPU model ('all' for every model;\n"
-        "                      default all)\n"
-        "  --trials N          independent trials per channel/CPU\n"
-        "                      pair (default 1)\n"
+        "  --cpu NAME          CPU model (repeatable; 'all' for every\n"
+        "                      model; default all)\n"
+        "  --trials N          independent trials per sweep cell\n"
+        "                      (default 1)\n"
         "  --threads N         worker threads (default: hardware\n"
         "                      concurrency)\n"
         "  --seed S            base seed (default 1)\n"
@@ -48,12 +52,23 @@ usage(std::FILE *to)
         "  --pattern P         all-0s | all-1s | alternating | random\n"
         "                      (default alternating)\n"
         "  --preamble N        calibration bits (default: channel's)\n"
-        "  --set KEY=VALUE     config override (repeatable); keys as\n"
-        "                      in ChannelConfig plus powerRounds,\n"
-        "                      sgxRounds, sgxMtSteps, sgxMtMeasPerStep\n"
-        "  --json PATH         write results as JSON\n"
-        "  --csv PATH          write results as CSV\n"
-        "  --quiet             suppress the text table\n"
+        "  --set KEY=VALUE     fixed config override (repeatable);\n"
+        "                      keys as in ChannelConfig plus\n"
+        "                      powerRounds, sgxRounds, sgxMtSteps,\n"
+        "                      sgxMtMeasPerStep, and model.* CPU knobs\n"
+        "                      (e.g. model.jitterPerKcycle)\n"
+        "  --sweep KEY=LO:HI:STEP[,KEY=...]\n"
+        "                      sweep axis (repeatable); also accepts\n"
+        "                      KEY=V1|V2|... value lists. Cells are\n"
+        "                      the cartesian product of all axes\n"
+        "  --shard I/N         run only every N-th sweep cell,\n"
+        "                      starting at cell I (seeds are derived\n"
+        "                      from full-grid cell indices, so shards\n"
+        "                      reproduce the full run's rows exactly)\n"
+        "  --json PATH         write per-trial results as JSON\n"
+        "  --csv PATH          write per-trial results as CSV\n"
+        "  --summary PATH      write the per-cell sweep summary table\n"
+        "  --quiet             suppress stdout tables\n"
         "  --help              this message\n");
 }
 
@@ -81,31 +96,13 @@ listChannels()
     std::printf("\nCPU models:");
     for (const CpuModel *cpu : allCpuModels())
         std::printf(" \"%s\"", cpu->name.c_str());
+    std::printf("\n\nConfig override keys (--set / --sweep):\n ");
+    for (const std::string &key : channelOverrideKeys())
+        std::printf(" %s", key.c_str());
+    std::printf("\nCPU model override keys (--set / --sweep):\n ");
+    for (const std::string &key : modelOverrideKeys())
+        std::printf(" %s", key.c_str());
     std::printf("\n");
-}
-
-bool
-parseUint64(const std::string &text, std::uint64_t &out)
-{
-    try {
-        std::size_t pos = 0;
-        out = std::stoull(text, &pos);
-        return pos == text.size();
-    } catch (...) {
-        return false;
-    }
-}
-
-bool
-parseInt(const std::string &text, int &out)
-{
-    try {
-        std::size_t pos = 0;
-        out = std::stoi(text, &pos);
-        return pos == text.size();
-    } catch (...) {
-        return false;
-    }
 }
 
 } // namespace
@@ -114,16 +111,15 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> channels;
-    std::string cpu = "all";
-    int trials = 1;
+    std::vector<std::string> cpus;
+    SweepSpec sweep;
+    SweepShard shard;
     int threads = 0;
-    std::uint64_t seed = 1;
-    int bits = 100;
     MessagePattern pattern = MessagePattern::Alternating;
-    int preamble = -1;
-    std::map<std::string, double> overrides;
+    int bits = 100;
     std::string json_path;
     std::string csv_path;
+    std::string summary_path;
     bool quiet = false;
 
     auto need_value = [&](int i) -> std::string {
@@ -133,6 +129,10 @@ main(int argc, char **argv)
             std::exit(1);
         }
         return argv[i + 1];
+    };
+    auto fail = [](const std::string &error) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        std::exit(1);
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -146,60 +146,53 @@ main(int argc, char **argv)
         } else if (arg == "--channel") {
             channels.push_back(need_value(i++));
         } else if (arg == "--cpu") {
-            cpu = need_value(i++);
+            cpus.push_back(need_value(i++));
         } else if (arg == "--trials") {
-            if (!parseInt(need_value(i++), trials) || trials < 1) {
-                std::fprintf(stderr, "bad --trials value\n");
-                return 1;
+            if (!parseStrictInt(need_value(i++), sweep.trials) ||
+                sweep.trials < 1) {
+                fail("bad --trials value");
             }
         } else if (arg == "--threads") {
-            if (!parseInt(need_value(i++), threads) || threads < 0) {
-                std::fprintf(stderr, "bad --threads value\n");
-                return 1;
+            if (!parseStrictInt(need_value(i++), threads) ||
+                threads < 0) {
+                fail("bad --threads value");
             }
         } else if (arg == "--seed") {
-            if (!parseUint64(need_value(i++), seed)) {
-                std::fprintf(stderr, "bad --seed value\n");
-                return 1;
-            }
+            if (!parseStrictUint64(need_value(i++), sweep.seed))
+                fail("bad --seed value");
         } else if (arg == "--bits") {
-            if (!parseInt(need_value(i++), bits) || bits < 1) {
-                std::fprintf(stderr, "bad --bits value\n");
-                return 1;
-            }
+            if (!parseStrictInt(need_value(i++), bits) || bits < 1)
+                fail("bad --bits value");
         } else if (arg == "--pattern") {
             const std::string name = need_value(i++);
-            if (!messagePatternFromString(name, pattern)) {
-                std::fprintf(stderr, "unknown pattern \"%s\"\n",
-                             name.c_str());
-                return 1;
-            }
+            if (!messagePatternFromString(name, pattern))
+                fail("unknown pattern \"" + name + "\"");
         } else if (arg == "--preamble") {
-            if (!parseInt(need_value(i++), preamble) || preamble < 2) {
-                std::fprintf(stderr, "bad --preamble value\n");
-                return 1;
+            if (!parseStrictInt(need_value(i++), sweep.preambleBits) ||
+                sweep.preambleBits < 2) {
+                fail("bad --preamble value");
             }
         } else if (arg == "--set") {
-            const std::string kv = need_value(i++);
-            const std::size_t eq = kv.find('=');
-            if (eq == std::string::npos || eq == 0) {
-                std::fprintf(stderr,
-                             "--set wants KEY=VALUE, got \"%s\"\n",
-                             kv.c_str());
-                return 1;
-            }
-            try {
-                overrides[kv.substr(0, eq)] =
-                    std::stod(kv.substr(eq + 1));
-            } catch (...) {
-                std::fprintf(stderr, "bad --set value in \"%s\"\n",
-                             kv.c_str());
-                return 1;
-            }
+            const std::string error =
+                parseSetArg(need_value(i++), sweep.baseOverrides);
+            if (!error.empty())
+                fail(error);
+        } else if (arg == "--sweep") {
+            const std::string error =
+                parseSweepArg(need_value(i++), sweep.axes);
+            if (!error.empty())
+                fail(error);
+        } else if (arg == "--shard") {
+            const std::string error =
+                parseShardArg(need_value(i++), shard);
+            if (!error.empty())
+                fail(error);
         } else if (arg == "--json") {
             json_path = need_value(i++);
         } else if (arg == "--csv") {
             csv_path = need_value(i++);
+        } else if (arg == "--summary") {
+            summary_path = need_value(i++);
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -217,48 +210,41 @@ main(int argc, char **argv)
     }
     if (channels.size() == 1 && channels[0] == "all")
         channels = allChannelNames();
-    for (const std::string &name : channels) {
-        if (!hasChannel(name)) {
-            std::fprintf(stderr, "unknown channel \"%s\";"
-                         " see --list\n", name.c_str());
-            return 1;
-        }
+    if (cpus.empty() || (cpus.size() == 1 && cpus[0] == "all")) {
+        cpus.clear();
+        for (const CpuModel *model : allCpuModels())
+            cpus.push_back(model->name);
     }
 
-    std::vector<const CpuModel *> cpus;
-    if (cpu == "all") {
-        cpus = allCpuModels();
-    } else {
-        const CpuModel *model = findCpuModel(cpu);
-        if (model == nullptr) {
-            std::fprintf(stderr, "unknown CPU model \"%s\";"
-                         " see --list\n", cpu.c_str());
-            return 1;
-        }
-        cpus.push_back(model);
-    }
+    sweep.channels = channels;
+    sweep.cpus = cpus;
+    sweep.patterns = {pattern};
+    sweep.messageBits = static_cast<std::size_t>(bits);
 
-    std::vector<ExperimentSpec> specs;
-    for (const std::string &name : channels) {
-        for (const CpuModel *model : cpus) {
-            ExperimentSpec spec;
-            spec.channel = name;
-            spec.cpu = model->name;
-            spec.seed = seed;
-            spec.pattern = pattern;
-            spec.messageBits = static_cast<std::size_t>(bits);
-            spec.preambleBits = preamble;
-            spec.overrides = overrides;
-            specs.push_back(std::move(spec));
-        }
+    std::string error = validateSweepSpec(sweep);
+    if (error.empty())
+        error = validateSweepShard(sweep, shard);
+    if (!error.empty()) {
+        std::fprintf(stderr, "%s (see --list)\n", error.c_str());
+        return 1;
     }
 
     const ExperimentRunner runner(threads);
-    const auto results = runner.runTrials(specs, trials);
+    const auto results = runSweep(sweep, runner, shard);
 
+    // The summary aggregates the whole batch; render it once and
+    // reuse the bytes for both stdout and --summary.
+    const bool sweeping = !sweep.axes.empty() || sweep.trials > 1;
+    std::string summary_text;
+    if ((!quiet && sweeping) || !summary_path.empty()) {
+        summary_text =
+            SweepSummarySink("lf_run sweep summary").render(results);
+    }
     if (!quiet) {
         TextTableSink text("lf_run results");
         std::cout << text.render(results);
+        if (sweeping)
+            std::cout << "\n" << summary_text;
     }
     if (!json_path.empty()) {
         JsonSink("lf_run").writeFile(results, json_path);
@@ -267,6 +253,16 @@ main(int argc, char **argv)
     if (!csv_path.empty()) {
         CsvSink().writeFile(results, csv_path);
         std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+    }
+    if (!summary_path.empty()) {
+        std::ofstream os(summary_path);
+        os << summary_text;
+        if (!os.good()) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         summary_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s\n", summary_path.c_str());
     }
 
     for (const ExperimentResult &res : results) {

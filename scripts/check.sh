@@ -14,11 +14,23 @@ cmake --build build-check -j "${JOBS}"
 echo "== ctest =="
 ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 
-echo "== ASan/UBSan: registry + runner tests =="
+echo "== ASan/UBSan: registry + run-subsystem tests =="
 cmake -B build-asan -S . -DLF_ASAN=ON
 cmake --build build-asan -j "${JOBS}" \
-    --target lf_core_test_channel_registry lf_run_test_runner
+    --target lf_core_test_channel_registry lf_run_test_runner \
+             lf_run_test_sweep lf_run_test_cli lf_run
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
+./build-asan/lf_run_test_sweep
+./build-asan/lf_run_test_cli
+
+echo "== ASan/UBSan: sweep smoke test =="
+./build-asan/lf_run --channel mt-eviction --cpu "Gold 6226" \
+    --sweep d=4:6:1 --trials 2 --threads 4 \
+    --json build-asan/sweep-smoke.json --quiet
+./build-asan/lf_run --channel mt-eviction --cpu "Gold 6226" \
+    --sweep d=4:6:1 --trials 2 --threads 1 \
+    --json build-asan/sweep-smoke-t1.json --quiet
+cmp build-asan/sweep-smoke.json build-asan/sweep-smoke-t1.json
 
 echo "== all checks passed =="

@@ -9,16 +9,6 @@ namespace lf {
 namespace {
 
 std::uint64_t
-splitmix64(std::uint64_t &x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
-std::uint64_t
 rotl(std::uint64_t v, int k)
 {
     return (v << k) | (v >> (64 - k));
@@ -26,11 +16,24 @@ rotl(std::uint64_t v, int k)
 
 } // namespace
 
+std::uint64_t
+splitmix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
+    // Stream the stateless step: output_k = splitmix64(seed + k*gamma),
+    // bit-identical to the classic stateful splitmix64 generator.
     std::uint64_t s = seed;
-    for (auto &word : state_)
+    for (auto &word : state_) {
         word = splitmix64(s);
+        s += 0x9e3779b97f4a7c15ULL;
+    }
 }
 
 std::uint64_t

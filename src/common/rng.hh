@@ -16,6 +16,15 @@
 
 namespace lf {
 
+/**
+ * One splitmix64 step for input @p z: increment by the golden-gamma
+ * constant, then mix. The canonical stateless seed-derivation
+ * primitive — the Rng seed expansion and the trial/cell seed chains
+ * in src/run all derive through this one function, so the
+ * decorrelation guarantees stay in lockstep.
+ */
+std::uint64_t splitmix64(std::uint64_t z);
+
 /** Deterministic xoshiro256** generator with convenience draws. */
 class Rng
 {

@@ -199,4 +199,23 @@ euclideanDistance(const std::vector<double> &a,
     return std::sqrt(sq);
 }
 
+double
+binaryEntropy(double p)
+{
+    lf_assert(p >= 0.0 && p <= 1.0, "binaryEntropy(%f) out of [0,1]",
+              p);
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double
+bscCapacity(double errorRate)
+{
+    // Edit-distance error rates are occasionally a hair outside [0, 1]
+    // in adversarial configs; clamp rather than assert.
+    const double p = std::min(1.0, std::max(0.0, errorRate));
+    return 1.0 - binaryEntropy(p);
+}
+
 } // namespace lf

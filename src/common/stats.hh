@@ -114,6 +114,17 @@ double percentile(std::vector<double> values, double pct);
 double euclideanDistance(const std::vector<double> &a,
                          const std::vector<double> &b);
 
+/** Binary entropy H2(p) in bits; 0 at p = 0 or 1. @p p in [0, 1]. */
+double binaryEntropy(double p);
+
+/**
+ * Shannon capacity of a binary symmetric channel with crossover
+ * probability @p errorRate, as a fraction of the raw bit rate:
+ * 1 - H2(p). Symmetric around 0.5 (a channel that always flips is as
+ * good as a perfect one), 0 at p = 0.5.
+ */
+double bscCapacity(double errorRate);
+
 } // namespace lf
 
 #endif // LF_COMMON_STATS_HH

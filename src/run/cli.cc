@@ -1,0 +1,181 @@
+#include "run/cli.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace lf {
+
+namespace {
+
+/** Split on @p sep, keeping empty pieces (they become errors). */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+parseAxisValues(const std::string &key, const std::string &text,
+                std::vector<double> &values)
+{
+    const auto bad = [&](const std::string &why) {
+        return "sweep axis \"" + key + "\": " + why + " in \"" + text +
+            "\"";
+    };
+    if (text.find(':') != std::string::npos) {
+        const auto parts = split(text, ':');
+        if (parts.size() != 3)
+            return bad("want LO:HI:STEP");
+        double lo;
+        double hi;
+        double step;
+        if (!parseStrictDouble(parts[0], lo) ||
+            !parseStrictDouble(parts[1], hi) ||
+            !parseStrictDouble(parts[2], step)) {
+            return bad("bad number");
+        }
+        if (step <= 0.0)
+            return bad("STEP must be > 0");
+        if (hi < lo)
+            return bad("HI must be >= LO");
+        // Values are computed as lo + i*step (no accumulation drift);
+        // the epsilon admits HI itself despite rounding.
+        const auto points = static_cast<std::size_t>(
+            std::floor((hi - lo) / step + 1e-9)) + 1;
+        for (std::size_t i = 0; i < points; ++i)
+            values.push_back(lo + static_cast<double>(i) * step);
+        return "";
+    }
+    for (const std::string &piece : split(text, '|')) {
+        double value;
+        if (!parseStrictDouble(piece, value))
+            return bad("bad number");
+        values.push_back(value);
+    }
+    return "";
+}
+
+} // namespace
+
+bool
+parseStrictDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (!std::isfinite(value))
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseStrictUint64(const std::string &text, std::uint64_t &out)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t value = std::stoull(text, &pos);
+        if (pos != text.size() ||
+            text.find('-') != std::string::npos) {
+            return false;
+        }
+        out = value;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseStrictInt(const std::string &text, int &out)
+{
+    try {
+        std::size_t pos = 0;
+        const int value = std::stoi(text, &pos);
+        if (pos != text.size())
+            return false;
+        out = value;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+std::string
+parseSetArg(const std::string &text,
+            std::map<std::string, double> &overrides)
+{
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return "--set wants KEY=VALUE, got \"" + text + "\"";
+    const std::string key = text.substr(0, eq);
+    double value;
+    if (!parseStrictDouble(text.substr(eq + 1), value))
+        return "bad --set value in \"" + text + "\"";
+    if (overrides.count(key) != 0)
+        return "duplicate --set key \"" + key + "\"";
+    overrides[key] = value;
+    return "";
+}
+
+std::string
+parseSweepArg(const std::string &text, std::vector<SweepAxis> &axes)
+{
+    for (const std::string &piece : split(text, ',')) {
+        const std::size_t eq = piece.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            return "--sweep wants KEY=LO:HI:STEP (or KEY=V1|V2...),"
+                   " got \"" + piece + "\"";
+        }
+        SweepAxis axis;
+        axis.key = piece.substr(0, eq);
+        for (const SweepAxis &existing : axes) {
+            if (existing.key == axis.key)
+                return "duplicate --sweep key \"" + axis.key + "\"";
+        }
+        const std::string error =
+            parseAxisValues(axis.key, piece.substr(eq + 1),
+                            axis.values);
+        if (!error.empty())
+            return error;
+        axes.push_back(std::move(axis));
+    }
+    return "";
+}
+
+std::string
+parseShardArg(const std::string &text, SweepShard &shard)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        return "--shard wants I/N, got \"" + text + "\"";
+    }
+    int index;
+    int count;
+    if (!parseStrictInt(text.substr(0, slash), index) ||
+        !parseStrictInt(text.substr(slash + 1), count)) {
+        return "--shard wants integers I/N, got \"" + text + "\"";
+    }
+    if (count < 1 || index < 0 || index >= count) {
+        return "--shard " + text + " out of range (need 0 <= I < N)";
+    }
+    shard.index = index;
+    shard.count = count;
+    return "";
+}
+
+} // namespace lf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Argument-parsing helpers shared by the lf_run CLI and its tests.
+ *
+ * Everything here is strict on purpose: numbers must consume their
+ * whole token ("40x" is rejected, std::stod would silently read 40),
+ * duplicate keys are an error (silently keeping the last --set d=...
+ * hid typos), and every function reports failures as returned error
+ * strings so the CLI can print them without exiting from library
+ * code.
+ */
+
+#ifndef LF_RUN_CLI_HH
+#define LF_RUN_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "run/sweep.hh"
+
+namespace lf {
+
+/** Parse a double consuming the entire token; rejects empty input,
+ *  trailing garbage, and non-finite values. */
+bool parseStrictDouble(const std::string &text, double &out);
+
+/** Parse a non-negative integer consuming the entire token. */
+bool parseStrictUint64(const std::string &text, std::uint64_t &out);
+
+/** Parse an int consuming the entire token. */
+bool parseStrictInt(const std::string &text, int &out);
+
+/**
+ * Parse one --set argument ("KEY=VALUE") into @p overrides. Rejects
+ * malformed tokens, unparsable values, and keys already present from
+ * an earlier --set. (A key that is also a sweep axis is rejected
+ * later by validateSweepSpec().)
+ * @return an error message or the empty string.
+ */
+std::string parseSetArg(const std::string &text,
+                        std::map<std::string, double> &overrides);
+
+/**
+ * Parse one --sweep argument into @p axes. Grammar, comma-separated:
+ *
+ *   KEY=LO:HI:STEP   inclusive range (STEP > 0, LO <= HI)
+ *   KEY=V1|V2|...    explicit value list
+ *   KEY=VALUE        single value
+ *
+ * e.g. "d=20:200:20" or "d=1:8:1,rounds=5|10|20". Duplicate keys
+ * across all --sweep arguments are rejected.
+ * @return an error message or the empty string.
+ */
+std::string parseSweepArg(const std::string &text,
+                          std::vector<SweepAxis> &axes);
+
+/** Parse an "i/n" shard selector (0 <= i < n). */
+std::string parseShardArg(const std::string &text, SweepShard &shard);
+
+} // namespace lf
+
+#endif // LF_RUN_CLI_HH

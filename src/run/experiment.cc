@@ -5,19 +5,6 @@
 
 namespace lf {
 
-namespace {
-
-std::uint64_t
-splitmix64(std::uint64_t z)
-{
-    z += 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
-} // namespace
-
 std::uint64_t
 deriveTrialSeed(std::uint64_t base, int trial)
 {
@@ -59,6 +46,8 @@ resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
     cfg = info.defaultConfig;
     extras = info.defaultExtras;
     for (const auto &[key, value] : spec.overrides) {
+        if (isModelOverrideKey(key))
+            continue; // resolveSpecModel()'s job.
         if (!applyChannelOverride(cfg, extras, key, value)) {
             return "unknown config override \"" + key +
                 "\" for channel " + spec.channel;
@@ -112,14 +101,47 @@ resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
 }
 
 std::string
+resolveSpecModel(const ExperimentSpec &spec, CpuModel &model)
+{
+    const CpuModel *base = findCpuModel(spec.cpu);
+    if (base == nullptr)
+        return "unknown CPU model \"" + spec.cpu + "\"";
+    model = *base;
+    for (const auto &[key, value] : spec.overrides) {
+        if (!isModelOverrideKey(key))
+            continue;
+        if (!applyModelOverride(model, key, value))
+            return "unknown model override \"" + key + "\"";
+    }
+    if (!(model.freqGhz > 0.0))
+        return "model.freqGhz must be > 0";
+    if (model.noise.stddevCycles < 0.0 ||
+        model.noise.spikeCycles < 0.0 ||
+        model.noise.jitterPerKcycle < 0.0 ||
+        model.sgx.entryJitterStddev < 0.0 ||
+        model.rapl.noiseStddevMicroJoules < 0.0) {
+        return "model noise magnitudes must be >= 0";
+    }
+    if (model.noise.spikeProb < 0.0 || model.noise.spikeProb > 1.0)
+        return "model.spikeProb must be in [0, 1]";
+    if (!(model.rapl.updateIntervalUs > 0.0) ||
+        !(model.rapl.quantumMicroJoules > 0.0)) {
+        return "RAPL interval and quantum must be > 0";
+    }
+    return "";
+}
+
+std::string
 validateSpec(const ExperimentSpec &spec)
 {
     if (!hasChannel(spec.channel))
         return "unknown channel \"" + spec.channel + "\"";
-    if (findCpuModel(spec.cpu) == nullptr)
-        return "unknown CPU model \"" + spec.cpu + "\"";
     if (spec.messageBits == 0)
         return "message must have at least one bit";
+    CpuModel model;
+    const std::string model_error = resolveSpecModel(spec, model);
+    if (!model_error.empty())
+        return model_error;
     ChannelConfig cfg;
     ChannelExtras extras;
     return resolveSpecConfig(spec, cfg, extras);
@@ -135,7 +157,9 @@ runExperiment(const ExperimentSpec &spec)
     if (!out.error.empty())
         return out;
 
-    const CpuModel &cpu = *findCpuModel(spec.cpu);
+    CpuModel cpu;
+    // Cannot fail: validateSpec() above already resolved this spec.
+    resolveSpecModel(spec, cpu);
     if (!channelSupportedOn(spec.channel, cpu)) {
         out.skipped = true;
         out.error = "channel " + spec.channel +
@@ -145,7 +169,6 @@ runExperiment(const ExperimentSpec &spec)
 
     ChannelConfig cfg;
     ChannelExtras extras;
-    // Cannot fail: validateSpec() above already resolved this spec.
     resolveSpecConfig(spec, cfg, extras);
 
     Core core(cpu, spec.seed);

@@ -47,8 +47,11 @@ struct ExperimentSpec
 
     /** ChannelConfig / extras overrides applied on top of the
      *  channel's registry defaults (keys as in
-     *  applyChannelOverride()). std::map keeps application order
-     *  deterministic. */
+     *  applyChannelOverride()), plus "model."-prefixed CPU-model
+     *  overrides (keys as in applyModelOverride()) applied to a
+     *  per-trial copy of the named CPU model — ablation sweeps bend
+     *  the machine, not just the channel. std::map keeps application
+     *  order deterministic. */
     std::map<std::string, double> overrides;
 };
 
@@ -95,6 +98,15 @@ std::vector<bool> specMessage(const ExperimentSpec &spec);
 std::string resolveSpecConfig(const ExperimentSpec &spec,
                               ChannelConfig &cfg,
                               ChannelExtras &extras);
+
+/**
+ * Resolve @p spec's effective CPU model: the named model with the
+ * spec's "model." overrides applied. The CPU name must be registered.
+ * @return an error message ("" on success), same contract as
+ *         resolveSpecConfig().
+ */
+std::string resolveSpecModel(const ExperimentSpec &spec,
+                             CpuModel &model);
 
 /**
  * Validate names and config resolution; returns an error message or

@@ -1,0 +1,32 @@
+#include "run/report.hh"
+
+#include <cstdio>
+
+#include "common/table.hh"
+
+namespace lf {
+namespace bench {
+
+void
+banner(const char *title)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title);
+    std::printf("==============================================\n");
+}
+
+std::string
+cmpCell(double sim, const char *paper)
+{
+    return formatFixed(sim, 2) + " (paper " + paper + ")";
+}
+
+int
+shapeCheck(const char *what, bool ok)
+{
+    std::printf("Shape check (%s): %s\n", what, ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+} // namespace bench
+} // namespace lf

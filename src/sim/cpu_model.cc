@@ -135,4 +135,78 @@ findCpuModel(const std::string &name)
     return nullptr;
 }
 
+bool
+isModelOverrideKey(const std::string &key)
+{
+    return key.rfind("model.", 0) == 0;
+}
+
+bool
+applyModelOverride(CpuModel &model, const std::string &key,
+                   double value)
+{
+    if (!isModelOverrideKey(key))
+        return false;
+    const std::string knob = key.substr(6);
+    // Cycles-typed knobs share the clamped-cast treatment of
+    // applyChannelOverride(): casting an out-of-range double is UB and
+    // the values arrive from the CLI.
+    const auto as_cycles = [value] {
+        if (value <= 0.0)
+            return Cycles{0};
+        if (value >= 1e18)
+            return static_cast<Cycles>(1e18);
+        return static_cast<Cycles>(value);
+    };
+    if (knob == "freqGhz") model.freqGhz = value;
+    else if (knob == "smtEnabled") model.smtEnabled = value != 0.0;
+    else if (knob == "lsdEnabled")
+        model.frontend.lsdEnabled = value != 0.0;
+    else if (knob == "lsdLoopBubble")
+        model.frontend.lsdLoopBubble = as_cycles();
+    else if (knob == "lcpStall") model.frontend.lcpStall = as_cycles();
+    else if (knob == "dsbToMiteSwitch")
+        model.frontend.dsbToMiteSwitch = as_cycles();
+    else if (knob == "miteToDsbSwitch")
+        model.frontend.miteToDsbSwitch = as_cycles();
+    else if (knob == "noiseStddevCycles")
+        model.noise.stddevCycles = value;
+    else if (knob == "spikeProb") model.noise.spikeProb = value;
+    else if (knob == "spikeCycles") model.noise.spikeCycles = value;
+    else if (knob == "tscOverhead")
+        model.noise.tscOverhead = as_cycles();
+    else if (knob == "syncCycles") model.noise.syncCycles = as_cycles();
+    else if (knob == "jitterPerKcycle")
+        model.noise.jitterPerKcycle = value;
+    else if (knob == "sgxEntryCycles")
+        model.sgx.entryCycles = as_cycles();
+    else if (knob == "sgxExitCycles")
+        model.sgx.exitCycles = as_cycles();
+    else if (knob == "sgxEntryJitterStddev")
+        model.sgx.entryJitterStddev = value;
+    else if (knob == "raplUpdateIntervalUs")
+        model.rapl.updateIntervalUs = value;
+    else if (knob == "raplQuantumMicroJoules")
+        model.rapl.quantumMicroJoules = value;
+    else if (knob == "raplNoiseStddevMicroJoules")
+        model.rapl.noiseStddevMicroJoules = value;
+    else return false;
+    return true;
+}
+
+std::vector<std::string>
+modelOverrideKeys()
+{
+    return {"model.freqGhz", "model.smtEnabled", "model.lsdEnabled",
+            "model.lsdLoopBubble", "model.lcpStall",
+            "model.dsbToMiteSwitch", "model.miteToDsbSwitch",
+            "model.noiseStddevCycles", "model.spikeProb",
+            "model.spikeCycles", "model.tscOverhead",
+            "model.syncCycles", "model.jitterPerKcycle",
+            "model.sgxEntryCycles", "model.sgxExitCycles",
+            "model.sgxEntryJitterStddev", "model.raplUpdateIntervalUs",
+            "model.raplQuantumMicroJoules",
+            "model.raplNoiseStddevMicroJoules"};
+}
+
 } // namespace lf

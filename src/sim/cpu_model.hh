@@ -98,6 +98,29 @@ const CpuModel &cpuModelByName(const std::string &name);
 /** Look up a model by name; nullptr if unknown. */
 const CpuModel *findCpuModel(const std::string &name);
 
+/**
+ * Apply one "model.<knob>=value" style override to @p model. Keys are
+ * the sweepable machine knobs (see modelOverrideKeys()): clock and SMT
+ * ("model.freqGhz", "model.smtEnabled"), frontend timing roots
+ * ("model.dsbToMiteSwitch", "model.lsdLoopBubble", "model.lcpStall",
+ * "model.lsdEnabled"), the timing-noise calibration fields
+ * ("model.noiseStddevCycles", "model.spikeProb", "model.spikeCycles",
+ * "model.jitterPerKcycle", "model.tscOverhead", "model.syncCycles"),
+ * SGX transition costs ("model.sgxEntryCycles", "model.sgxExitCycles",
+ * "model.sgxEntryJitterStddev"), and RAPL behaviour
+ * ("model.raplUpdateIntervalUs", "model.raplQuantumMicroJoules",
+ * "model.raplNoiseStddevMicroJoules").
+ * @return false if @p key names no known model knob.
+ */
+bool applyModelOverride(CpuModel &model, const std::string &key,
+                        double value);
+
+/** True when @p key is a model override (has the "model." prefix). */
+bool isModelOverrideKey(const std::string &key);
+
+/** Keys accepted by applyModelOverride(), for help text. */
+std::vector<std::string> modelOverrideKeys();
+
 } // namespace lf
 
 #endif // LF_SIM_CPU_MODEL_HH

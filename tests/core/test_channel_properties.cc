@@ -4,15 +4,24 @@
  * must hold for any sane parameterization (more rounds -> same or
  * better reliability; larger d -> larger eviction signal; faster
  * clock -> higher rate; message content must round-trip).
+ *
+ * The registry-wide harness at the bottom pins down every channel's
+ * decode behavior: for all registered channels x all supported CPU
+ * models it asserts the zero-noise round-trip (with noise knobs
+ * forced to zero the receiver recovers the message exactly), seed
+ * determinism (a spec is a pure function of its seed), and the
+ * Fig. 8 error direction (shrinking d raises the MT eviction error).
  */
 
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <set>
 
 #include "common/message.hh"
 #include "core/mt_channels.hh"
 #include "core/nonmt_channels.hh"
+#include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
 namespace lf {
@@ -171,6 +180,208 @@ TEST(ChannelProperties, MtStepsScaleBitTime)
         return channel.transmit(altMessage(20)).transmissionKbps;
     };
     EXPECT_GT(rate_at(10), 1.5 * rate_at(40));
+}
+
+// ---- Registry-wide harness: every channel x every supported CPU ----
+
+/** Noise knobs forced to zero: timing jitter, OS spikes,
+ *  duration-proportional jitter, SGX transition jitter, and RAPL
+ *  measurement noise. What remains is the deterministic
+ *  microarchitectural signal the channels decode. */
+std::map<std::string, double>
+zeroNoiseOverrides(const std::string &channel)
+{
+    std::map<std::string, double> overrides = {
+        {"model.noiseStddevCycles", 0},
+        {"model.spikeProb", 0},
+        {"model.jitterPerKcycle", 0},
+        {"model.sgxEntryJitterStddev", 0},
+        {"model.raplNoiseStddevMicroJoules", 0},
+    };
+    // SGX amplification rounds are only there to beat entry/exit
+    // jitter; with jitter at zero a fraction suffices, keeping the
+    // suite fast on one core.
+    if (channel.rfind("sgx-", 0) == 0) {
+        overrides["sgxRounds"] = 1500;
+        overrides["sgxMtSteps"] = 30;
+        overrides["sgxMtMeasPerStep"] = 10;
+    }
+    return overrides;
+}
+
+/** The RAPL refresh grid straddles bit boundaries for the
+ *  misalignment power encode on the higher-clocked machines, lagging
+ *  the first received bits by one position (deterministic
+ *  inter-symbol interference, not noise). The paper only reports the
+ *  power channels on the Gold 6226, where the round-trip is exact. */
+bool
+isKnownPowerIsiPair(const std::string &channel, const std::string &cpu)
+{
+    return channel == "power-misalignment" && cpu != gold6226().name;
+}
+
+const std::vector<ExperimentResult> &
+zeroNoiseBatch()
+{
+    static const std::vector<ExperimentResult> results = [] {
+        std::vector<ExperimentSpec> specs;
+        for (const std::string &channel : allChannelNames()) {
+            for (const CpuModel *cpu : allCpuModels()) {
+                if (!channelSupportedOn(channel, *cpu))
+                    continue;
+                ExperimentSpec spec;
+                spec.channel = channel;
+                spec.cpu = cpu->name;
+                spec.seed = 3;
+                spec.messageBits = 8;
+                spec.overrides = zeroNoiseOverrides(channel);
+                specs.push_back(std::move(spec));
+            }
+        }
+        return ExperimentRunner().run(specs);
+    }();
+    return results;
+}
+
+TEST(RegistryProperties, EveryChannelCoveredOnEverySupportedCpu)
+{
+    std::set<std::string> channels;
+    std::size_t pairs = 0;
+    for (const ExperimentResult &res : zeroNoiseBatch()) {
+        channels.insert(res.spec.channel);
+        ++pairs;
+    }
+    EXPECT_EQ(channels.size(), allChannelNames().size());
+    // 4 CPUs; mt-* lose the E-2288G (3), sgx-* the Gold 6226 (3),
+    // sgx-mt-* both (2): 7*4 + 2*3 + 4*3 + 2*2 = 50.
+    EXPECT_EQ(pairs, 50u);
+}
+
+TEST(RegistryProperties, ZeroNoiseRoundTripsExactly)
+{
+    for (const ExperimentResult &res : zeroNoiseBatch()) {
+        if (isKnownPowerIsiPair(res.spec.channel, res.spec.cpu))
+            continue;
+        ASSERT_TRUE(res.ok)
+            << res.spec.channel << " on " << res.spec.cpu << ": "
+            << res.error;
+        EXPECT_EQ(res.result.received, res.result.sent)
+            << res.spec.channel << " on " << res.spec.cpu;
+        EXPECT_EQ(res.result.errorRate, 0.0)
+            << res.spec.channel << " on " << res.spec.cpu;
+    }
+}
+
+TEST(RegistryProperties, PowerIsiPairsStillDecodeAboveChance)
+{
+    int found = 0;
+    for (const ExperimentResult &res : zeroNoiseBatch()) {
+        if (!isKnownPowerIsiPair(res.spec.channel, res.spec.cpu))
+            continue;
+        ++found;
+        ASSERT_TRUE(res.ok) << res.spec.cpu << ": " << res.error;
+        // Deterministic one-bit lag at the start, then locked: far
+        // better than chance, with distinct class means (the sign
+        // flips on the E-2288G, where LSD delivery makes the
+        // misaligned encode the *cheaper* path — nearest-mean decode
+        // is sign-agnostic).
+        EXPECT_LT(res.result.errorRate, 0.4) << res.spec.cpu;
+        EXPECT_NE(res.result.meanObs1, res.result.meanObs0)
+            << res.spec.cpu;
+    }
+    EXPECT_EQ(found, 3); // E-2174G, E-2286G, E-2288G
+}
+
+TEST(RegistryProperties, SeedDeterminismAcrossReruns)
+{
+    // Default (noisy) models: the noise streams themselves are seeded,
+    // so a spec must be a pure function of its seed.
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &channel : allChannelNames()) {
+        for (const CpuModel *cpu : allCpuModels()) {
+            if (!channelSupportedOn(channel, *cpu))
+                continue;
+            ExperimentSpec spec;
+            spec.channel = channel;
+            spec.cpu = cpu->name;
+            spec.seed = 11;
+            spec.messageBits = 6;
+            spec.pattern = MessagePattern::Random;
+            spec.overrides = zeroNoiseOverrides(channel);
+            // Keep the noise: only the SGX round reductions apply.
+            spec.overrides.erase("model.noiseStddevCycles");
+            spec.overrides.erase("model.spikeProb");
+            spec.overrides.erase("model.jitterPerKcycle");
+            spec.overrides.erase("model.sgxEntryJitterStddev");
+            spec.overrides.erase("model.raplNoiseStddevMicroJoules");
+            // One power pair is plenty at 20k rounds/bit.
+            if (channel.rfind("power-", 0) == 0 &&
+                cpu->name != gold6226().name) {
+                continue;
+            }
+            specs.push_back(std::move(spec));
+        }
+    }
+    const ExperimentRunner runner;
+    const auto first = runner.run(specs);
+    const auto second = runner.run(specs);
+    const std::string json1 = JsonSink("seeds").render(first);
+    const std::string json2 = JsonSink("seeds").render(second);
+    EXPECT_EQ(json1, json2);
+}
+
+TEST(RegistryProperties, MtEvictionErrorGrowsAsDShrinks)
+{
+    // Fig. 8's direction: at d = 1 the receiver's timing signal is
+    // tiny and the MT eviction error is far above its d = 6 value,
+    // on every SMT machine. Averaged over trials to keep the
+    // assertion off the noise floor.
+    SweepSpec sweep;
+    sweep.channels = {"mt-eviction"};
+    for (const CpuModel *cpu : smtCpuModels())
+        sweep.cpus.push_back(cpu->name);
+    sweep.axes = {{"d", {1, 6}}};
+    sweep.trials = 6;
+    sweep.messageBits = 40;
+    sweep.seed = 42;
+
+    const auto cells =
+        aggregateSweep(runSweep(sweep, ExperimentRunner()));
+    ASSERT_EQ(cells.size(), 6u);
+    for (std::size_t c = 0; c < cells.size(); c += 2) {
+        const SweepCellSummary &small_d = cells[c];
+        const SweepCellSummary &large_d = cells[c + 1];
+        ASSERT_EQ(small_d.cpu, large_d.cpu);
+        ASSERT_EQ(small_d.overrides.at("d"), 1);
+        ASSERT_EQ(large_d.overrides.at("d"), 6);
+        EXPECT_GT(small_d.errorRate.mean(),
+                  large_d.errorRate.mean() + 0.05)
+            << small_d.cpu;
+    }
+}
+
+TEST(RegistryProperties, NonMtEvictionErrorMonotoneInD)
+{
+    // The non-MT eviction variants sit near their error floor at
+    // calibrated noise, so the claim is non-strict: growing d never
+    // makes decoding worse (beyond trial scatter).
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction",
+                      "nonmt-stealthy-eviction"};
+    sweep.cpus = {gold6226().name};
+    sweep.axes = {{"d", {1, 6}}};
+    sweep.trials = 6;
+    sweep.messageBits = 40;
+    sweep.seed = 42;
+
+    const auto cells =
+        aggregateSweep(runSweep(sweep, ExperimentRunner()));
+    ASSERT_EQ(cells.size(), 4u);
+    for (std::size_t c = 0; c < cells.size(); c += 2) {
+        EXPECT_GE(cells[c].errorRate.mean() + 0.02,
+                  cells[c + 1].errorRate.mean())
+            << cells[c].channel;
+    }
 }
 
 } // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * CLI parsing tests: strict number parsing (trailing garbage such as
+ * "40x" must be rejected — std::stod used to silently read 40),
+ * duplicate --set keys, the --sweep axis grammar, and --shard
+ * selectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "run/cli.hh"
+
+namespace lf {
+namespace {
+
+TEST(StrictNumbers, DoubleRejectsTrailingGarbage)
+{
+    double value = 0.0;
+    EXPECT_TRUE(parseStrictDouble("40", value));
+    EXPECT_EQ(value, 40.0);
+    EXPECT_TRUE(parseStrictDouble("4e2", value));
+    EXPECT_EQ(value, 400.0);
+    EXPECT_TRUE(parseStrictDouble("-2.5", value));
+
+    EXPECT_FALSE(parseStrictDouble("40x", value));
+    EXPECT_FALSE(parseStrictDouble("x40", value));
+    EXPECT_FALSE(parseStrictDouble("", value));
+    EXPECT_FALSE(parseStrictDouble("4 0", value));
+    EXPECT_FALSE(parseStrictDouble("nan", value));
+    EXPECT_FALSE(parseStrictDouble("inf", value));
+}
+
+TEST(StrictNumbers, IntAndUint64)
+{
+    int i = 0;
+    EXPECT_TRUE(parseStrictInt("-3", i));
+    EXPECT_EQ(i, -3);
+    EXPECT_FALSE(parseStrictInt("3.5", i));
+    EXPECT_FALSE(parseStrictInt("3x", i));
+
+    std::uint64_t u = 0;
+    EXPECT_TRUE(parseStrictUint64("18446744073709551615", u));
+    EXPECT_FALSE(parseStrictUint64("-1", u));
+    EXPECT_FALSE(parseStrictUint64("12q", u));
+}
+
+TEST(SetParsing, AcceptsKeyValue)
+{
+    std::map<std::string, double> overrides;
+    EXPECT_EQ(parseSetArg("d=40", overrides), "");
+    EXPECT_EQ(overrides.at("d"), 40.0);
+    EXPECT_EQ(parseSetArg("model.jitterPerKcycle=2.5", overrides), "");
+    EXPECT_EQ(overrides.size(), 2u);
+}
+
+TEST(SetParsing, RejectsTrailingGarbage)
+{
+    std::map<std::string, double> overrides;
+    const std::string error = parseSetArg("d=40x", overrides);
+    EXPECT_NE(error.find("bad --set value"), std::string::npos);
+    EXPECT_TRUE(overrides.empty());
+}
+
+TEST(SetParsing, RejectsDuplicateKeys)
+{
+    std::map<std::string, double> overrides;
+    EXPECT_EQ(parseSetArg("d=4", overrides), "");
+    const std::string error = parseSetArg("d=6", overrides);
+    EXPECT_NE(error.find("duplicate --set key"), std::string::npos);
+    EXPECT_EQ(overrides.at("d"), 4.0); // first value kept, not last
+}
+
+TEST(SetParsing, RejectsMalformedTokens)
+{
+    std::map<std::string, double> overrides;
+    EXPECT_FALSE(parseSetArg("d", overrides).empty());
+    EXPECT_FALSE(parseSetArg("=5", overrides).empty());
+    EXPECT_FALSE(parseSetArg("d=", overrides).empty());
+}
+
+TEST(SweepParsing, RangeIsInclusive)
+{
+    std::vector<SweepAxis> axes;
+    EXPECT_EQ(parseSweepArg("d=20:200:20", axes), "");
+    ASSERT_EQ(axes.size(), 1u);
+    EXPECT_EQ(axes[0].key, "d");
+    ASSERT_EQ(axes[0].values.size(), 10u);
+    EXPECT_EQ(axes[0].values.front(), 20.0);
+    EXPECT_EQ(axes[0].values.back(), 200.0);
+}
+
+TEST(SweepParsing, FractionalStepHitsTheUpperBound)
+{
+    std::vector<SweepAxis> axes;
+    EXPECT_EQ(parseSweepArg("x=1.5:3:0.5", axes), "");
+    ASSERT_EQ(axes[0].values.size(), 4u);
+    EXPECT_DOUBLE_EQ(axes[0].values.back(), 3.0);
+}
+
+TEST(SweepParsing, ListsAndSingleValues)
+{
+    std::vector<SweepAxis> axes;
+    EXPECT_EQ(parseSweepArg("rounds=5|10|20,d=6", axes), "");
+    ASSERT_EQ(axes.size(), 2u);
+    EXPECT_EQ(axes[0].values,
+              (std::vector<double>{5.0, 10.0, 20.0}));
+    EXPECT_EQ(axes[1].values, (std::vector<double>{6.0}));
+}
+
+TEST(SweepParsing, RejectsBadAxes)
+{
+    std::vector<SweepAxis> axes;
+    EXPECT_FALSE(parseSweepArg("d", axes).empty());
+    EXPECT_FALSE(parseSweepArg("d=1:8", axes).empty());
+    EXPECT_FALSE(parseSweepArg("d=8:1:1", axes).empty());
+    EXPECT_FALSE(parseSweepArg("d=1:8:0", axes).empty());
+    EXPECT_FALSE(parseSweepArg("d=1:8:-1", axes).empty());
+    EXPECT_FALSE(parseSweepArg("d=1:8:1x", axes).empty());
+    EXPECT_TRUE(axes.empty());
+
+    EXPECT_EQ(parseSweepArg("d=1:8:1", axes), "");
+    EXPECT_FALSE(parseSweepArg("d=2|4", axes).empty()); // duplicate
+}
+
+TEST(ShardParsing, AcceptsValidSelectors)
+{
+    SweepShard shard;
+    EXPECT_EQ(parseShardArg("0/4", shard), "");
+    EXPECT_EQ(shard.index, 0);
+    EXPECT_EQ(shard.count, 4);
+    EXPECT_EQ(parseShardArg("3/4", shard), "");
+    EXPECT_EQ(shard.index, 3);
+}
+
+TEST(ShardParsing, RejectsBadSelectors)
+{
+    SweepShard shard;
+    EXPECT_FALSE(parseShardArg("4/4", shard).empty());
+    EXPECT_FALSE(parseShardArg("-1/4", shard).empty());
+    EXPECT_FALSE(parseShardArg("1", shard).empty());
+    EXPECT_FALSE(parseShardArg("1/", shard).empty());
+    EXPECT_FALSE(parseShardArg("/4", shard).empty());
+    EXPECT_FALSE(parseShardArg("a/b", shard).empty());
+    EXPECT_FALSE(parseShardArg("0/0", shard).empty());
+}
+
+} // namespace
+} // namespace lf

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Golden-file regression tests for the CSV / JSON / sweep-summary
+ * sinks: the schema and field ordering of the serialized formats are
+ * locked against checked-in golden files under tests/run/golden/.
+ *
+ * The batch is synthetic (hand-built ok / failed / skipped rows, no
+ * simulation), so the goldens only change when the serialization
+ * itself changes. Refresh them after an intentional format change
+ * with:
+ *
+ *   lf_run_test_golden_sinks --update-golden     (or set
+ *   LF_UPDATE_GOLDEN=1)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "run/sweep.hh"
+
+namespace lf {
+namespace {
+
+bool update_golden = false;
+
+std::string
+goldenDir()
+{
+#ifdef LF_SOURCE_ROOT
+    return std::string(LF_SOURCE_ROOT) + "/tests/run/golden/";
+#else
+    return "tests/run/golden/";
+#endif
+}
+
+std::vector<ExperimentResult>
+syntheticBatch()
+{
+    std::vector<ExperimentResult> results;
+
+    ExperimentResult ok;
+    ok.spec.channel = "nonmt-fast-eviction";
+    ok.spec.cpu = "Gold 6226";
+    ok.spec.seed = 7;
+    ok.spec.trial = 0;
+    ok.spec.label = "golden cell";
+    ok.spec.pattern = MessagePattern::Alternating;
+    ok.spec.messageBits = 4;
+    ok.spec.preambleBits = 6;
+    ok.spec.overrides = {{"d", 3.0}, {"model.jitterPerKcycle", 0.5}};
+    ok.ok = true;
+    ok.result.channelName = "nonmt-fast-eviction";
+    ok.result.cpuName = "Gold 6226";
+    ok.result.seed = 7;
+    ok.result.preambleBits = 6;
+    ok.result.config = defaultChannelConfig("nonmt-fast-eviction");
+    ok.result.config.d = 3;
+    ok.result.sent = {true, false, true, false};
+    ok.result.received = {true, false, false, false};
+    ok.result.errorRate = 0.25;
+    ok.result.transmissionKbps = 123.456;
+    ok.result.seconds = 0.0125;
+    ok.result.meanObs0 = 100.5;
+    ok.result.meanObs1 = 140.25;
+    ok.extras = channelInfo("nonmt-fast-eviction").defaultExtras;
+    results.push_back(ok);
+
+    // Second trial of the same cell, so the summary sink aggregates.
+    ExperimentResult ok2 = ok;
+    ok2.spec.trial = 1;
+    ok2.spec.seed = 8;
+    ok2.result.seed = 8;
+    ok2.result.errorRate = 0.5;
+    ok2.result.transmissionKbps = 100.0;
+    ok2.result.received = {false, true, false, true};
+    results.push_back(ok2);
+
+    ExperimentResult failed;
+    failed.spec.channel = "slow-switch";
+    failed.spec.cpu = "E-2288G";
+    failed.spec.seed = 9;
+    failed.spec.label = "bad, \"quoted\" label";
+    failed.ok = false;
+    failed.error = "unknown config override \"bogus\"";
+    results.push_back(failed);
+
+    ExperimentResult skipped;
+    skipped.spec.channel = "mt-eviction";
+    skipped.spec.cpu = "E-2288G";
+    skipped.spec.seed = 10;
+    skipped.skipped = true;
+    skipped.error = "channel mt-eviction not supported on E-2288G";
+    results.push_back(skipped);
+
+    return results;
+}
+
+void
+checkGolden(const std::string &name, const std::string &rendered)
+{
+    const std::string path = goldenDir() + name;
+    if (update_golden) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << rendered;
+        ASSERT_TRUE(out.good());
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with --update-golden)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(rendered, expected.str())
+        << "schema drift vs " << path
+        << " — if intentional, refresh with --update-golden";
+}
+
+TEST(GoldenSinks, Csv)
+{
+    checkGolden("results.csv.golden",
+                CsvSink().render(syntheticBatch()));
+}
+
+TEST(GoldenSinks, Json)
+{
+    checkGolden("results.json.golden",
+                JsonSink("golden").render(syntheticBatch()));
+}
+
+TEST(GoldenSinks, SweepSummary)
+{
+    checkGolden("sweep_summary.txt.golden",
+                SweepSummarySink("golden summary")
+                    .render(syntheticBatch()));
+}
+
+} // namespace
+} // namespace lf
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            lf::update_golden = true;
+    }
+    if (const char *env = std::getenv("LF_UPDATE_GOLDEN")) {
+        if (env[0] != '\0' && env[0] != '0')
+            lf::update_golden = true;
+    }
+    return RUN_ALL_TESTS();
+}

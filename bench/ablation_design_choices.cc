@@ -9,10 +9,14 @@
  *     the misalignment channels and Fig. 2's middle gap.
  *  3. RAPL update interval — the power channel's bandwidth cap.
  *  4. Measurement noise level — channel error-rate sensitivity.
+ *  5. OS preemption probability ("env." axis) — how much scheduler
+ *     interference the eviction channel survives.
+ *  6. Receiver timer quantization ("env." axis) — the classic
+ *     coarse-timer mitigation vs the ~300-cycle eviction signal.
  *
- * Each ablation is a SweepSpec over a "model." CPU-knob axis; all
- * four sweeps are expanded up front and executed as ONE parallel
- * ExperimentRunner batch. Emits BENCH_ablation.json.
+ * Each ablation is a SweepSpec over a "model." CPU-knob or "env."
+ * environment axis; all six sweeps are expanded up front and executed
+ * as ONE parallel ExperimentRunner batch. Emits BENCH_ablation.json.
  */
 
 #include <cstdio>
@@ -64,9 +68,28 @@ main()
     noise.axes = {{"model.jitterPerKcycle", {0, 2, 5, 10, 20}}};
     noise.seed = 80;
 
+    // 5. OS preemption sweep (environment axis).
+    SweepSpec preempt;
+    preempt.label = "sched-preempt";
+    preempt.channels = {"nonmt-fast-eviction"};
+    preempt.cpus = {gold6226().name};
+    preempt.axes = {{"env.sched_preempt_prob",
+                     {0, 0.01, 0.05, 0.1, 0.2}}};
+    preempt.seed = 100;
+
+    // 6. Timer quantization sweep (environment axis).
+    SweepSpec timer;
+    timer.label = "timer-quantum";
+    timer.channels = {"nonmt-fast-eviction"};
+    timer.cpus = {gold6226().name};
+    timer.axes = {{"env.timer_quantum_cycles",
+                   {0, 100, 500, 2000, 8000}}};
+    timer.seed = 120;
+
     std::vector<ExperimentSpec> specs;
     std::vector<std::size_t> offsets;
-    for (const SweepSpec *sweep : {&penalty, &bubble, &rapl, &noise}) {
+    for (const SweepSpec *sweep :
+         {&penalty, &bubble, &rapl, &noise, &preempt, &timer}) {
         offsets.push_back(specs.size());
         for (ExperimentSpec &spec : expandSweep(*sweep))
             specs.push_back(std::move(spec));
@@ -134,6 +157,31 @@ main()
         for (const ExperimentResult &res : slice(3)) {
             table.addRow({formatFixed(res.spec.overrides.at(
                               "model.jitterPerKcycle"), 1),
+                          formatPercent(res.result.errorRate)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    {
+        TextTable table("5. OS preemption probability vs channel "
+                        "error");
+        table.setHeader({"Preempt prob", "Error", "Rate (Kbps)"});
+        for (const ExperimentResult &res : slice(4)) {
+            table.addRow({formatFixed(res.spec.overrides.at(
+                              "env.sched_preempt_prob"), 2),
+                          formatPercent(res.result.errorRate),
+                          formatKbps(res.result.transmissionKbps)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    {
+        TextTable table("6. Receiver timer quantization vs channel "
+                        "error");
+        table.setHeader({"Quantum (cycles)", "Error"});
+        for (const ExperimentResult &res : slice(5)) {
+            table.addRow({formatFixed(res.spec.overrides.at(
+                              "env.timer_quantum_cycles"), 0),
                           formatPercent(res.result.errorRate)});
         }
         std::printf("%s\n", table.render().c_str());

@@ -55,8 +55,10 @@ usage(std::FILE *to)
         "  --set KEY=VALUE     fixed config override (repeatable);\n"
         "                      keys as in ChannelConfig plus\n"
         "                      powerRounds, sgxRounds, sgxMtSteps,\n"
-        "                      sgxMtMeasPerStep, and model.* CPU knobs\n"
-        "                      (e.g. model.jitterPerKcycle)\n"
+        "                      sgxMtMeasPerStep, model.* CPU knobs\n"
+        "                      (e.g. model.jitterPerKcycle), and\n"
+        "                      env.* environment/interference knobs\n"
+        "                      (e.g. env.corunner_intensity)\n"
         "  --sweep KEY=LO:HI:STEP[,KEY=...]\n"
         "                      sweep axis (repeatable); also accepts\n"
         "                      KEY=V1|V2|... value lists. Cells are\n"
@@ -101,6 +103,9 @@ listChannels()
         std::printf(" %s", key.c_str());
     std::printf("\nCPU model override keys (--set / --sweep):\n ");
     for (const std::string &key : modelOverrideKeys())
+        std::printf(" %s", key.c_str());
+    std::printf("\nEnvironment override keys (--set / --sweep):\n ");
+    for (const std::string &key : envOverrideKeys())
         std::printf(" %s", key.c_str());
     std::printf("\n");
 }

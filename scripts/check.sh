@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: strict build + full test suite, then an ASan +
-# UBSan pass over the registry/runner subsystem. Mirrors the CI
-# workflow so the same gate runs locally.
+# Tier-1 verification: strict build + full test suite, the
+# documentation checks, then an ASan + UBSan pass over the
+# registry/runner/noise subsystem. Mirrors the CI workflow so the
+# same gate runs locally.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,11 +19,16 @@ echo "== ASan/UBSan: registry + run-subsystem tests =="
 cmake -B build-asan -S . -DLF_ASAN=ON
 cmake --build build-asan -j "${JOBS}" \
     --target lf_core_test_channel_registry lf_run_test_runner \
-             lf_run_test_sweep lf_run_test_cli lf_run
+             lf_run_test_sweep lf_run_test_cli \
+             lf_noise_test_environment lf_run
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
 ./build-asan/lf_run_test_sweep
 ./build-asan/lf_run_test_cli
+./build-asan/lf_noise_test_environment
+
+echo "== documentation checks =="
+LF_RUN=build-check/lf_run ./scripts/check_docs.sh
 
 echo "== ASan/UBSan: sweep smoke test =="
 ./build-asan/lf_run --channel mt-eviction --cpu "Gold 6226" \

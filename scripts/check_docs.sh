@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Documentation checks (the "doc CI" tier):
+#
+#  1. every relative markdown link in README.md and docs/*.md resolves
+#     to an existing file;
+#  2. every lf_run invocation in a fenced snippet only uses flags the
+#     real CLI advertises in --help (a --help-driven smoke: docs can't
+#     drift from the binary);
+#  3. every override key (env.* / model.*) referenced in the docs is a
+#     key `lf_run --list` advertises, and every registry channel name
+#     appears in docs/CHANNELS.md (catalog completeness);
+#  4. when CHECK_DOCS_BASE is set (CI sets it to the PR base ref),
+#     CHANGES.md must have gained content relative to that ref.
+#
+# Usage: [LF_RUN=path/to/lf_run] [CHECK_DOCS_BASE=origin/main] \
+#            scripts/check_docs.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LF_RUN="${LF_RUN:-build/lf_run}"
+DOCS=(README.md docs/*.md)
+fail=0
+
+note() { echo "check_docs: $*" >&2; }
+
+# ---- 1. Relative markdown links resolve. ----
+links_tmp="$(mktemp)"
+trap 'rm -f "$links_tmp"' EXIT
+for doc in "${DOCS[@]}"; do
+    { grep -oE '\]\([^)]+\)' "$doc" || true; } |
+        sed -e 's/^](//' -e 's/)$//' |
+        while IFS= read -r target; do
+            printf '%s\t%s\n' "$doc" "$target"
+        done
+done > "$links_tmp"
+while IFS=$'\t' read -r doc target; do
+    case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue # pure in-page anchor
+    dir="$(dirname "$doc")"
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+        note "broken link in $doc: $target"
+        fail=1
+    fi
+done < "$links_tmp"
+
+# ---- 2/3 need the real CLI. ----
+if [ ! -x "$LF_RUN" ]; then
+    note "lf_run not found at '$LF_RUN'; build it first" \
+         "(cmake --build build --target lf_run) or set LF_RUN"
+    exit 1
+fi
+help_text="$("$LF_RUN" --help)"
+list_text="$("$LF_RUN" --list)"
+
+# ---- 2. Fenced lf_run snippets only use advertised flags. ----
+# Collect lf_run command lines (with backslash continuations) from
+# fenced code blocks, then compare each --flag against the exact flag
+# set --help advertises (whole-token: "--thread" must not ride on
+# "--threads").
+help_flags=$(printf '%s\n' "$help_text" |
+    grep -oE -- '--[a-z][a-z-]*' | sort -u)
+snippet_flags=$(
+    awk '
+        FNR == 1 { fence = 0; collect = 0 }
+        /^```/ { fence = !fence; next }
+        fence && (collect || /lf_run/) {
+            print
+            collect = /\\[[:space:]]*$/
+        }
+    ' "${DOCS[@]}" |
+    grep -oE -- '--[a-z][a-z-]*' | sort -u
+)
+for flag in $snippet_flags; do
+    if ! printf '%s\n' "$help_flags" | grep -qx -- "$flag"; then
+        note "documented flag $flag is not in lf_run --help"
+        fail=1
+    fi
+done
+
+# ---- 3a. env.* / model.* keys in docs exist in the CLI. ----
+doc_keys=$(
+    grep -ohE '(env|model)\.[A-Za-z_]+\*?' "${DOCS[@]}" |
+    grep -v '\*$' | sort -u
+)
+for key in $doc_keys; do
+    if ! printf '%s\n' "$list_text" | grep -qw -- "$key"; then
+        note "documented override key $key is not in lf_run --list"
+        fail=1
+    fi
+done
+
+# ---- 3b. Every registry channel is cataloged. ----
+channels=$(
+    printf '%s\n' "$list_text" |
+    awk -F'|' 'NF > 4 { gsub(/ /, "", $2); print $2 }' |
+    grep -vE '^(Name|)$'
+)
+for channel in $channels; do
+    if ! grep -q -- "\`$channel\`" docs/CHANNELS.md; then
+        note "channel $channel missing from docs/CHANNELS.md"
+        fail=1
+    fi
+done
+
+# ---- 4. CHANGES.md gained a line (PR mode only). ----
+# Diff against the merge-base, not the base tip: once another PR
+# merges its own CHANGES.md line, a tip diff would be non-empty for
+# every branch and the gate would never fire again.
+if [ -n "${CHECK_DOCS_BASE:-}" ]; then
+    merge_base="$(git merge-base "$CHECK_DOCS_BASE" HEAD)"
+    if git diff --quiet "$merge_base" -- CHANGES.md; then
+        note "CHANGES.md not updated relative to $CHECK_DOCS_BASE" \
+             "(merge-base $merge_base)"
+        fail=1
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    note "FAILED"
+    exit 1
+fi
+note "all documentation checks passed"

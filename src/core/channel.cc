@@ -4,6 +4,7 @@
 #include <cmath>
 #include "common/edit_distance.hh"
 #include "common/logging.hh"
+#include "noise/environment.hh"
 
 namespace lf {
 
@@ -15,6 +16,9 @@ CovertChannel::CovertChannel(Core &core, const ChannelConfig &config)
     lf_assert(config.M <= config.N + 1, "M=%d too large", config.M);
     lf_assert(config.targetSet >= 0 && config.targetSet < 32,
               "bad target set");
+    lf_assert(config.repetition >= 1 && config.repetition % 2 == 1,
+              "repetition must be odd and >= 1, got %d",
+              config.repetition);
 }
 
 void
@@ -27,6 +31,14 @@ ChannelResult
 CovertChannel::transmit(const std::vector<bool> &message,
                         int preamble_bits)
 {
+    return transmit(message, Environment::quietEnvironment(),
+                    preamble_bits);
+}
+
+ChannelResult
+CovertChannel::transmit(const std::vector<bool> &message,
+                        Environment &env, int preamble_bits)
+{
     if (preamble_bits < 0)
         preamble_bits = cfg_.preambleBits;
     if (preamble_bits < 2)
@@ -38,11 +50,22 @@ CovertChannel::transmit(const std::vector<bool> &message,
         setupDone_ = true;
     }
 
+    // One transmission slot under the environment: interference lands
+    // before the bit (frontend pollution, scheduler delay) and on the
+    // raw observable (window stretch, timer/meter degradation). With
+    // a quiet environment both hooks are exact no-ops.
+    const auto observe = [&](bool bit) {
+        env.beginSlot(core_);
+        const double raw = transmitBit(bit);
+        return observableIsPower() ? env.perturbPower(raw)
+                                   : env.perturbTiming(raw);
+    };
+
     // Warmup: the very first transmissions pay cold-start costs (L1I
     // and DSB fills, BTB misses) that would skew calibration; discard
     // them.
     for (int i = 0; i < 4; ++i)
-        transmitBit((i % 2) == 1);
+        observe((i % 2) == 1);
 
     // Calibration preamble: alternating 0s and 1s with known values
     // (Sec. VI-B). Class means become the decoding reference.
@@ -52,7 +75,7 @@ CovertChannel::transmit(const std::vector<bool> &message,
     int n1 = 0;
     for (int i = 0; i < preamble_bits; ++i) {
         const bool bit = (i % 2) == 1;
-        const double obs = transmitBit(bit);
+        const double obs = observe(bit);
         if (bit) {
             sum1 += obs;
             ++n1;
@@ -79,10 +102,16 @@ CovertChannel::transmit(const std::vector<bool> &message,
     const Cycles start = core_.cycle();
     result.received.reserve(message.size());
     for (bool bit : message) {
-        const double obs = transmitBit(bit);
-        const bool decoded =
-            std::fabs(obs - mean1) < std::fabs(obs - mean0);
-        result.received.push_back(decoded);
+        // Repetition decode: cfg_.repetition slots vote on the bit
+        // (majority of nearest-class-mean decisions). repetition == 1
+        // is the paper's plain protocol.
+        int votes = 0;
+        for (int r = 0; r < cfg_.repetition; ++r) {
+            const double obs = observe(bit);
+            if (std::fabs(obs - mean1) < std::fabs(obs - mean0))
+                ++votes;
+        }
+        result.received.push_back(2 * votes > cfg_.repetition);
     }
     const Cycles elapsed = core_.cycle() - start;
 

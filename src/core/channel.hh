@@ -28,6 +28,8 @@
 
 namespace lf {
 
+class Environment;
+
 /** Parameters shared by the channel implementations (Sec. V names). */
 struct ChannelConfig
 {
@@ -62,6 +64,13 @@ struct ChannelConfig
     /** Calibration preamble length in bits (Sec. VI-B). transmit()
      *  uses this unless the caller passes an explicit override. */
     int preambleBits = 16;
+
+    /** Receiver-robustness hook: transmit each message bit this many
+     *  times and majority-decode (odd, >= 1). 1 reproduces the
+     *  paper's plain protocol; larger values trade rate for error
+     *  resilience under a noisy Environment. Calibration preamble
+     *  bits are never repeated. */
+    int repetition = 1;
 
     /** Base virtual addresses for receiver and sender code. Distinct
      *  1 KiB-aligned regions give distinct DSB tags. */
@@ -105,16 +114,32 @@ class CovertChannel
      */
     virtual double transmitBit(bool bit) = 0;
 
+    /** True when the raw observable is energy (microjoules), not
+     *  cycles — selects which Environment perturbation applies. */
+    virtual bool observableIsPower() const { return false; }
+
     /** Called once before a transmission (build programs, warm up). */
     virtual void setup() {}
 
     /**
-     * Calibrate on an alternating preamble, then transmit @p message.
+     * Calibrate on an alternating preamble, then transmit @p message
+     * on a quiet machine (no environment interference).
      * @param preamble_bits Calibration bits; < 0 means use
      *                      ChannelConfig::preambleBits.
      */
     ChannelResult transmit(const std::vector<bool> &message,
                            int preamble_bits = -1);
+
+    /**
+     * Same, under @p env: every transmission slot (warmup, preamble,
+     * and message bits alike) is preceded by Environment::beginSlot()
+     * and its raw observable degraded by perturbTiming()/
+     * perturbPower(). A quiet Environment reproduces the plain
+     * overload bit for bit. When ChannelConfig::repetition > 1 each
+     * message bit is sent that many times and majority-decoded.
+     */
+    ChannelResult transmit(const std::vector<bool> &message,
+                           Environment &env, int preamble_bits = -1);
 
     Core &core() { return core_; }
     const ChannelConfig &config() const { return cfg_; }

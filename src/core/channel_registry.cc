@@ -351,6 +351,7 @@ applyChannelOverride(ChannelConfig &cfg, ChannelExtras &extras,
     else if (key == "mtMeasPerStep") cfg.mtMeasPerStep = as_int();
     else if (key == "mtSenderIters") cfg.mtSenderIters = as_int();
     else if (key == "preambleBits") cfg.preambleBits = as_int();
+    else if (key == "repetition") cfg.repetition = as_int();
     else if (key == "receiverBase")
         cfg.receiverBase = static_cast<Addr>(value);
     else if (key == "senderBase")
@@ -369,9 +370,9 @@ channelOverrideKeys()
 {
     return {"targetSet", "altSet", "N", "d", "M", "r", "rounds",
             "initIters", "stealthy", "mtSteps", "mtMeasPerStep",
-            "mtSenderIters", "preambleBits", "receiverBase",
-            "senderBase", "powerRounds", "sgxRounds", "sgxMtSteps",
-            "sgxMtMeasPerStep"};
+            "mtSenderIters", "preambleBits", "repetition",
+            "receiverBase", "senderBase", "powerRounds", "sgxRounds",
+            "sgxMtSteps", "sgxMtMeasPerStep"};
 }
 
 } // namespace lf

@@ -37,6 +37,9 @@ class PowerChannelBase : public CovertChannel
 
     double transmitBit(bool bit) override;
 
+    /** The observable is per-round package energy, not cycles. */
+    bool observableIsPower() const override { return true; }
+
     const PowerChannelConfig &powerConfig() const { return powerCfg_; }
 
   protected:

@@ -34,8 +34,10 @@ bool parseStrictInt(const std::string &text, int &out);
 /**
  * Parse one --set argument ("KEY=VALUE") into @p overrides. Rejects
  * malformed tokens, unparsable values, and keys already present from
- * an earlier --set. (A key that is also a sweep axis is rejected
- * later by validateSweepSpec().)
+ * an earlier --set. The grammar is key-agnostic — ChannelConfig,
+ * "model.*", and "env.*" keys all pass through here; key *existence*
+ * (and a key that is also a sweep axis) is rejected later by
+ * validateSweepSpec().
  * @return an error message or the empty string.
  */
 std::string parseSetArg(const std::string &text,

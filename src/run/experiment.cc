@@ -48,6 +48,8 @@ resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
     for (const auto &[key, value] : spec.overrides) {
         if (isModelOverrideKey(key))
             continue; // resolveSpecModel()'s job.
+        if (isEnvOverrideKey(key))
+            continue; // resolveSpecEnvironment()'s job.
         if (!applyChannelOverride(cfg, extras, key, value)) {
             return "unknown config override \"" + key +
                 "\" for channel " + spec.channel;
@@ -76,6 +78,10 @@ resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
         cfg.mtSenderIters < 1) {
         return "iteration counts (rounds, initIters, r, mtSteps,"
                " mtMeasPerStep, mtSenderIters) must be >= 1";
+    }
+    if (cfg.repetition < 1 || cfg.repetition % 2 == 0) {
+        return "repetition must be odd and >= 1, got " +
+            std::to_string(cfg.repetition);
     }
     if (extras.power.rounds < 1 || extras.sgx.rounds < 1 ||
         extras.sgx.mtSteps < 1 || extras.sgx.mtMeasPerStep < 1) {
@@ -132,6 +138,20 @@ resolveSpecModel(const ExperimentSpec &spec, CpuModel &model)
 }
 
 std::string
+resolveSpecEnvironment(const ExperimentSpec &spec,
+                       EnvironmentSpec &env)
+{
+    env = EnvironmentSpec{};
+    for (const auto &[key, value] : spec.overrides) {
+        if (!isEnvOverrideKey(key))
+            continue;
+        if (!applyEnvOverride(env, key, value))
+            return "unknown environment override \"" + key + "\"";
+    }
+    return validateEnvironmentSpec(env);
+}
+
+std::string
 validateSpec(const ExperimentSpec &spec)
 {
     if (!hasChannel(spec.channel))
@@ -142,6 +162,10 @@ validateSpec(const ExperimentSpec &spec)
     const std::string model_error = resolveSpecModel(spec, model);
     if (!model_error.empty())
         return model_error;
+    EnvironmentSpec env;
+    const std::string env_error = resolveSpecEnvironment(spec, env);
+    if (!env_error.empty())
+        return env_error;
     ChannelConfig cfg;
     ChannelExtras extras;
     return resolveSpecConfig(spec, cfg, extras);
@@ -170,10 +194,13 @@ runExperiment(const ExperimentSpec &spec)
     ChannelConfig cfg;
     ChannelExtras extras;
     resolveSpecConfig(spec, cfg, extras);
+    EnvironmentSpec env_spec;
+    resolveSpecEnvironment(spec, env_spec);
 
     Core core(cpu, spec.seed);
     auto channel = makeChannel(spec.channel, core, cfg, extras);
-    out.result = channel->transmit(specMessage(spec),
+    Environment env(env_spec, spec.seed);
+    out.result = channel->transmit(specMessage(spec), env,
                                    spec.preambleBits);
     out.extras = extras;
     out.ok = true;

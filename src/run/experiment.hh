@@ -20,6 +20,7 @@
 
 #include "common/message.hh"
 #include "core/channel_registry.hh"
+#include "noise/environment.hh"
 
 namespace lf {
 
@@ -50,7 +51,9 @@ struct ExperimentSpec
      *  applyChannelOverride()), plus "model."-prefixed CPU-model
      *  overrides (keys as in applyModelOverride()) applied to a
      *  per-trial copy of the named CPU model — ablation sweeps bend
-     *  the machine, not just the channel. std::map keeps application
+     *  the machine, not just the channel — plus "env."-prefixed
+     *  environment knobs (keys as in applyEnvOverride()) composing
+     *  the trial's interference model. std::map keeps application
      *  order deterministic. */
     std::map<std::string, double> overrides;
 };
@@ -107,6 +110,15 @@ std::string resolveSpecConfig(const ExperimentSpec &spec,
  */
 std::string resolveSpecModel(const ExperimentSpec &spec,
                              CpuModel &model);
+
+/**
+ * Resolve @p spec's environment: a default (quiet) EnvironmentSpec
+ * with the spec's "env." overrides applied and range-checked.
+ * @return an error message ("" on success), same contract as
+ *         resolveSpecConfig().
+ */
+std::string resolveSpecEnvironment(const ExperimentSpec &spec,
+                                   EnvironmentSpec &env);
 
 /**
  * Validate names and config resolution; returns an error message or

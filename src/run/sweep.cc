@@ -60,14 +60,18 @@ cellLabel(const SweepSpec &spec, const std::string &channel,
     return label.empty() ? channel : label;
 }
 
-/** Is @p key a knob applyChannelOverride()/applyModelOverride() will
- *  accept? Probed against scratch targets. */
+/** Is @p key a knob applyChannelOverride()/applyModelOverride()/
+ *  applyEnvOverride() will accept? Probed against scratch targets. */
 bool
 knownOverrideKey(const std::string &key)
 {
     if (isModelOverrideKey(key)) {
         CpuModel scratch = gold6226();
         return applyModelOverride(scratch, key, 1.0);
+    }
+    if (isEnvOverrideKey(key)) {
+        EnvironmentSpec scratch;
+        return applyEnvOverride(scratch, key, 1.0);
     }
     ChannelConfig cfg;
     ChannelExtras extras;

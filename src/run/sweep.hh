@@ -34,8 +34,9 @@
 namespace lf {
 
 /** One swept dimension: an override key and the values it takes.
- *  Keys are ChannelConfig/extras knobs (applyChannelOverride()) or
- *  "model."-prefixed CPU knobs (applyModelOverride()). */
+ *  Keys are ChannelConfig/extras knobs (applyChannelOverride()),
+ *  "model."-prefixed CPU knobs (applyModelOverride()), or
+ *  "env."-prefixed environment knobs (applyEnvOverride()). */
 struct SweepAxis
 {
     std::string key;

@@ -110,6 +110,10 @@ const CpuModel *findCpuModel(const std::string &name);
  * "model.sgxEntryJitterStddev"), and RAPL behaviour
  * ("model.raplUpdateIntervalUs", "model.raplQuantumMicroJoules",
  * "model.raplNoiseStddevMicroJoules").
+ *
+ * Model knobs recalibrate the *machine*; transient interference
+ * (co-runners, preemption, timer coarsening) lives in the separate
+ * "env." keys of src/noise/environment.hh.
  * @return false if @p key names no known model knob.
  */
 bool applyModelOverride(CpuModel &model, const std::string &key,

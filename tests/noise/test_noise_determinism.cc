@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Determinism contract of the environment model under the run layer:
+ * a noisy EnvironmentSpec must not cost any of the reproducibility
+ * guarantees the runner and sweep engine provide. Same seed + same
+ * spec => identical ChannelResults across 1/4/8 worker threads and
+ * across --shard slices, and an all-zero EnvironmentSpec is
+ * bit-identical to the legacy no-environment path for every registry
+ * channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "run/sinks.hh"
+#include "run/sweep.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+namespace {
+
+/** A noisy sweep exercising every environment source at once. */
+SweepSpec
+noisySweep()
+{
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction", "slow-switch",
+                      "power-eviction"};
+    sweep.cpus = {gold6226().name, xeonE2288G().name};
+    sweep.axes = {{"env.corunner_intensity", {0.0, 0.6}},
+                  {"env.sched_preempt_prob", {0.0, 0.05}}};
+    sweep.baseOverrides["env.timer_noise_cycles"] = 4.0;
+    sweep.baseOverrides["env.rapl_noise_uj"] = 0.2;
+    sweep.baseOverrides["powerRounds"] = 2000;
+    sweep.trials = 2;
+    sweep.messageBits = 12;
+    sweep.seed = 9;
+    return sweep;
+}
+
+TEST(NoiseDeterminism, ThreadCountNeverChangesTheBytes)
+{
+    const SweepSpec sweep = noisySweep();
+    const auto one = runSweep(sweep, ExperimentRunner(1));
+    const auto four = runSweep(sweep, ExperimentRunner(4));
+    const auto eight = runSweep(sweep, ExperimentRunner(8));
+    const std::string json1 = JsonSink("t").render(one);
+    EXPECT_EQ(json1, JsonSink("t").render(four));
+    EXPECT_EQ(json1, JsonSink("t").render(eight));
+}
+
+TEST(NoiseDeterminism, ShardsReproduceTheFullRunExactly)
+{
+    const SweepSpec sweep = noisySweep();
+    const ExperimentRunner runner(4);
+    const auto full = runSweep(sweep, runner);
+
+    // Interleave the shard batches back in full-grid cell order and
+    // compare the serialized bytes row for row.
+    constexpr int kShards = 3;
+    std::vector<std::vector<ExperimentResult>> shards;
+    for (int i = 0; i < kShards; ++i)
+        shards.push_back(runSweep(sweep, runner, {i, kShards}));
+
+    std::size_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.size();
+    ASSERT_EQ(total, full.size());
+
+    std::vector<std::size_t> next(kShards, 0);
+    std::vector<ExperimentResult> merged;
+    const std::size_t per_cell =
+        static_cast<std::size_t>(sweep.trials);
+    for (std::size_t cell = 0; merged.size() < full.size(); ++cell) {
+        auto &shard = shards[cell % kShards];
+        std::size_t &pos = next[cell % kShards];
+        ASSERT_LE(pos + per_cell, shard.size() + 0);
+        for (std::size_t t = 0; t < per_cell; ++t)
+            merged.push_back(shard[pos++]);
+    }
+    EXPECT_EQ(JsonSink("t").render(merged),
+              JsonSink("t").render(full));
+}
+
+TEST(NoiseDeterminism, RerunBitIdentity)
+{
+    const SweepSpec sweep = noisySweep();
+    const ExperimentRunner runner(4);
+    EXPECT_EQ(JsonSink("t").render(runSweep(sweep, runner)),
+              JsonSink("t").render(runSweep(sweep, runner)));
+}
+
+TEST(NoiseDeterminism,
+     ZeroEnvironmentMatchesLegacyPathForEveryChannel)
+{
+    // Every registry channel on one supported CPU each: explicit
+    // all-zero env.* overrides against no env keys at all. The
+    // ChannelResults must agree bit for bit (the specs differ only
+    // in their override maps).
+    std::vector<ExperimentSpec> plain;
+    std::vector<ExperimentSpec> zeroed;
+    for (const std::string &channel : allChannelNames()) {
+        const CpuModel *cpu = nullptr;
+        for (const CpuModel *candidate : allCpuModels()) {
+            if (channelSupportedOn(channel, *candidate)) {
+                cpu = candidate;
+                break;
+            }
+        }
+        ASSERT_NE(cpu, nullptr) << channel;
+        ExperimentSpec spec;
+        spec.channel = channel;
+        spec.cpu = cpu->name;
+        spec.seed = 21;
+        spec.messageBits = 6;
+        // Keep the slow amplified channels quick.
+        spec.overrides["powerRounds"] = 2000;
+        spec.overrides["sgxRounds"] = 500;
+        spec.overrides["sgxMtSteps"] = 10;
+        plain.push_back(spec);
+        spec.overrides["env.corunner_intensity"] = 0.0;
+        spec.overrides["env.sched_preempt_prob"] = 0.0;
+        spec.overrides["env.sched_jitter_cycles"] = 0.0;
+        spec.overrides["env.timer_quantum_cycles"] = 0.0;
+        spec.overrides["env.timer_noise_cycles"] = 0.0;
+        spec.overrides["env.rapl_noise_uj"] = 0.0;
+        spec.overrides["env.rapl_drift_uj"] = 0.0;
+        zeroed.push_back(spec);
+    }
+    const ExperimentRunner runner(4);
+    const auto expect = runner.run(plain);
+    const auto got = runner.run(zeroed);
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        const ChannelResult &a = expect[i].result;
+        const ChannelResult &b = got[i].result;
+        ASSERT_EQ(expect[i].ok, got[i].ok)
+            << expect[i].spec.channel;
+        EXPECT_EQ(a.received, b.received) << a.channelName;
+        EXPECT_EQ(a.errorRate, b.errorRate) << a.channelName;
+        EXPECT_EQ(a.transmissionKbps, b.transmissionKbps)
+            << a.channelName;
+        EXPECT_EQ(a.seconds, b.seconds) << a.channelName;
+        EXPECT_EQ(a.meanObs0, b.meanObs0) << a.channelName;
+        EXPECT_EQ(a.meanObs1, b.meanObs1) << a.channelName;
+    }
+}
+
+} // namespace
+} // namespace lf

@@ -78,6 +78,60 @@ TEST(SetParsing, RejectsMalformedTokens)
     EXPECT_FALSE(parseSetArg("d=", overrides).empty());
 }
 
+TEST(SetParsing, EnvKeysAreJustAsStrict)
+{
+    // env.* overrides go through the same strict grammar as channel
+    // and model.* keys: whole-token values, no duplicates.
+    std::map<std::string, double> overrides;
+    EXPECT_EQ(parseSetArg("env.corunner_intensity=0.5", overrides),
+              "");
+    EXPECT_EQ(overrides.at("env.corunner_intensity"), 0.5);
+
+    std::string error =
+        parseSetArg("env.timer_noise_cycles=4x", overrides);
+    EXPECT_NE(error.find("bad --set value"), std::string::npos);
+    EXPECT_EQ(overrides.count("env.timer_noise_cycles"), 0u);
+
+    error = parseSetArg("env.corunner_intensity=0.9", overrides);
+    EXPECT_NE(error.find("duplicate --set key"), std::string::npos);
+    EXPECT_EQ(overrides.at("env.corunner_intensity"), 0.5);
+
+    EXPECT_FALSE(parseSetArg("env.sched_preempt_prob=", overrides)
+                     .empty());
+}
+
+TEST(SetParsing, UnknownEnvKeysRejectedBySweepValidation)
+{
+    // parseSetArg() is grammar-only; key existence is the sweep
+    // validator's job (same split as the model.* keys).
+    std::map<std::string, double> overrides;
+    EXPECT_EQ(parseSetArg("env.bogus=1", overrides), "");
+
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction"};
+    sweep.cpus = {"Gold 6226"};
+    sweep.baseOverrides = overrides;
+    EXPECT_NE(validateSweepSpec(sweep).find("env.bogus"),
+              std::string::npos);
+
+    sweep.baseOverrides.clear();
+    sweep.baseOverrides["env.corunner_intensity"] = 0.5;
+    EXPECT_EQ(validateSweepSpec(sweep), "");
+}
+
+TEST(SweepParsing, EnvAxesParse)
+{
+    std::vector<SweepAxis> axes;
+    EXPECT_EQ(parseSweepArg("env.corunner_intensity=0:1:0.25", axes),
+              "");
+    ASSERT_EQ(axes.size(), 1u);
+    EXPECT_EQ(axes[0].key, "env.corunner_intensity");
+    EXPECT_EQ(axes[0].values.size(), 5u);
+    // Duplicate env axis across --sweep arguments is still rejected.
+    EXPECT_FALSE(
+        parseSweepArg("env.corunner_intensity=0|1", axes).empty());
+}
+
 TEST(SweepParsing, RangeIsInclusive)
 {
     std::vector<SweepAxis> axes;

@@ -278,5 +278,29 @@ TEST(ModelOverrides, KeyListMatchesApplier)
     EXPECT_FALSE(applyModelOverride(scratch, "freqGhz", 1.0));
 }
 
+TEST(EnvAxes, ExpandAndLabelLikeAnyOtherAxis)
+{
+    // env.* keys are first-class sweep dimensions: grid expansion,
+    // auto-labels, and validation treat them exactly like the
+    // ChannelConfig and model.* knobs.
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction"};
+    sweep.cpus = {"Gold 6226"};
+    sweep.axes = {{"env.corunner_intensity", {0.0, 0.5, 1.0}}};
+    EXPECT_EQ(validateSweepSpec(sweep), "");
+    EXPECT_EQ(sweepCellCount(sweep), 3u);
+
+    const auto batch = expandSweep(sweep);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[1].label, "env.corunner_intensity=0.5");
+    EXPECT_EQ(batch[1].overrides.at("env.corunner_intensity"), 0.5);
+
+    // Swept-and-set conflicts are caught like for any other key.
+    sweep.baseOverrides["env.corunner_intensity"] = 0.2;
+    EXPECT_NE(
+        validateSweepSpec(sweep).find("env.corunner_intensity"),
+        std::string::npos);
+}
+
 } // namespace
 } // namespace lf

@@ -16,6 +16,7 @@
 #include "common/table.hh"
 #include "fingerprint/patch_detect.hh"
 #include "run/report.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -59,6 +60,20 @@ main()
         static_cast<double>(correct) / (2.0 * kTrials);
     std::printf("Patch classification accuracy over %d trials: %.1f%%\n",
                 2 * kTrials, accuracy * 100.0);
+
+    bench::JsonReport report("fig10_patch_detect");
+    for (const PatchSignature *sig : {&sig1, &sig2}) {
+        bench::JsonReport &row = report.object(sig->patchName);
+        row.number("small_loop_cycles", sig->smallLoopCycles)
+            .number("large_loop_cycles", sig->largeLoopCycles)
+            .number("small_loop_watts", sig->smallLoopWatts)
+            .number("large_loop_watts", sig->largeLoopWatts)
+            .number("small_loop_lsd_share", sig->smallLoopLsdShare);
+    }
+    report.integer("trials", 2 * kTrials);
+    report.number("classification_accuracy", accuracy);
+    report.writeFile(benchJsonFileName("fig10"));
+    std::printf("Wrote %s\n", benchJsonFileName("fig10").c_str());
     std::printf("Expected shape: timing and power of the small loop"
                 " diverge from the\n  large loop only under patch1"
                 " (LSD enabled); near-perfect detection.\n");

@@ -19,6 +19,7 @@
 #include "fingerprint/side_channel.hh"
 #include "fingerprint/workloads.hh"
 #include "run/report.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -34,10 +35,15 @@ main()
     std::printf("Attacker baseline IPC (no victim): %.2f "
                 "(paper: 3.58 on a 4-wide backend)\n\n", baseline);
 
+    bench::JsonReport report("fig11_ml_traces");
+    report.number("baseline_ipc", baseline);
+    bench::JsonReport &traces = report.object("traces");
+
     const auto victims = cnnWorkloads();
     for (const auto &victim : victims) {
         const auto trace =
             attackerIpcTrace(gold6226(), victim, config, 4242);
+        traces.numberArray(victim.name(), trace);
         OnlineStats stats;
         for (double v : trace)
             stats.add(v);
@@ -57,6 +63,9 @@ main()
         }
         std::printf("\n");
     }
+
+    report.writeFile(benchJsonFileName("fig11"));
+    std::printf("\nWrote %s\n", benchJsonFileName("fig11").c_str());
 
     std::printf("\nExpected shape: paired IPC roughly half the solo"
                 " IPC, fluctuating in\n  distinct victim-specific"

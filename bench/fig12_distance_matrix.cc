@@ -15,6 +15,7 @@
 #include "fingerprint/side_channel.hh"
 #include "fingerprint/workloads.hh"
 #include "run/report.hh"
+#include "run/sinks.hh"
 #include "sim/cpu_model.hh"
 
 using namespace lf;
@@ -49,6 +50,16 @@ main()
                 study.meanInterDistance);
     std::printf("Nearest-reference classification accuracy: %.1f%%\n",
                 study.classificationAccuracy * 100.0);
+
+    bench::JsonReport report("fig12_distance_matrix");
+    report.stringArray("workloads", study.names);
+    report.numberMatrix("distance_matrix", study.distanceMatrix);
+    report.number("mean_intra_distance", study.meanIntraDistance);
+    report.number("mean_inter_distance", study.meanInterDistance);
+    report.number("classification_accuracy",
+                  study.classificationAccuracy);
+    report.writeFile(benchJsonFileName("fig12"));
+    std::printf("Wrote %s\n", benchJsonFileName("fig12").c_str());
 
     return bench::shapeCheck(
         "inter >> intra, accurate classification",

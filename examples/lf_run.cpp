@@ -38,7 +38,9 @@ usage(std::FILE *to)
     std::fprintf(to,
         "usage: lf_run [options]\n"
         "\n"
-        "  --list              list registered channels and exit\n"
+        "  --list              list channels and override keys, exit\n"
+        "  --list-channels     list the channel registry catalog\n"
+        "  --list-axes         list every --set/--sweep override key\n"
         "  --channel NAME      channel to run (repeatable; 'all' for\n"
         "                      every registered channel)\n"
         "  --cpu NAME          CPU model (repeatable; 'all' for every\n"
@@ -56,9 +58,12 @@ usage(std::FILE *to)
         "                      keys as in ChannelConfig plus\n"
         "                      powerRounds, sgxRounds, sgxMtSteps,\n"
         "                      sgxMtMeasPerStep, model.* CPU knobs\n"
-        "                      (e.g. model.jitterPerKcycle), and\n"
-        "                      env.* environment/interference knobs\n"
-        "                      (e.g. env.corunner_intensity)\n"
+        "                      (e.g. model.jitterPerKcycle), env.*\n"
+        "                      environment/interference knobs (e.g.\n"
+        "                      env.corunner_intensity), and defense.*\n"
+        "                      mitigation knobs (e.g.\n"
+        "                      defense.partition_dsb); --list-axes\n"
+        "                      prints the full catalog\n"
         "  --sweep KEY=LO:HI:STEP[,KEY=...]\n"
         "                      sweep axis (repeatable); also accepts\n"
         "                      KEY=V1|V2|... value lists. Cells are\n"
@@ -72,42 +77,6 @@ usage(std::FILE *to)
         "  --summary PATH      write the per-cell sweep summary table\n"
         "  --quiet             suppress stdout tables\n"
         "  --help              this message\n");
-}
-
-void
-listChannels()
-{
-    TextTable table("Registered covert channels");
-    table.setHeader({"Name", "Needs", "Default", "Description"});
-    for (const std::string &name : allChannelNames()) {
-        const ChannelInfo &info = channelInfo(name);
-        std::string needs;
-        if (info.requiresSmt)
-            needs += "SMT ";
-        if (info.requiresSgx)
-            needs += "SGX ";
-        if (needs.empty())
-            needs = "-";
-        const ChannelConfig &cfg = info.defaultConfig;
-        std::string defaults = "d=" + std::to_string(cfg.d) +
-            " M=" + std::to_string(cfg.M) +
-            (cfg.stealthy ? " stealthy" : "");
-        table.addRow({name, needs, defaults, info.description});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nCPU models:");
-    for (const CpuModel *cpu : allCpuModels())
-        std::printf(" \"%s\"", cpu->name.c_str());
-    std::printf("\n\nConfig override keys (--set / --sweep):\n ");
-    for (const std::string &key : channelOverrideKeys())
-        std::printf(" %s", key.c_str());
-    std::printf("\nCPU model override keys (--set / --sweep):\n ");
-    for (const std::string &key : modelOverrideKeys())
-        std::printf(" %s", key.c_str());
-    std::printf("\nEnvironment override keys (--set / --sweep):\n ");
-    for (const std::string &key : envOverrideKeys())
-        std::printf(" %s", key.c_str());
-    std::printf("\n");
 }
 
 } // namespace
@@ -146,7 +115,14 @@ main(int argc, char **argv)
             usage(stdout);
             return 0;
         } else if (arg == "--list") {
-            listChannels();
+            std::printf("%s\n%s", renderChannelCatalog().c_str(),
+                        renderOverrideKeyCatalog().c_str());
+            return 0;
+        } else if (arg == "--list-channels") {
+            std::printf("%s", renderChannelCatalog().c_str());
+            return 0;
+        } else if (arg == "--list-axes") {
+            std::printf("%s", renderOverrideKeyCatalog().c_str());
             return 0;
         } else if (arg == "--channel") {
             channels.push_back(need_value(i++));
@@ -227,6 +203,8 @@ main(int argc, char **argv)
     sweep.messageBits = static_cast<std::size_t>(bits);
 
     std::string error = validateSweepSpec(sweep);
+    if (error.empty())
+        error = validateSweepSpecValues(sweep);
     if (error.empty())
         error = validateSweepShard(sweep, shard);
     if (!error.empty()) {

@@ -20,12 +20,14 @@ cmake -B build-asan -S . -DLF_ASAN=ON
 cmake --build build-asan -j "${JOBS}" \
     --target lf_core_test_channel_registry lf_run_test_runner \
              lf_run_test_sweep lf_run_test_cli \
-             lf_noise_test_environment lf_run
+             lf_noise_test_environment lf_defense_test_defense \
+             lf_run table_defenses
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
 ./build-asan/lf_run_test_sweep
 ./build-asan/lf_run_test_cli
 ./build-asan/lf_noise_test_environment
+./build-asan/lf_defense_test_defense
 
 echo "== documentation checks =="
 LF_RUN=build-check/lf_run ./scripts/check_docs.sh
@@ -38,5 +40,8 @@ echo "== ASan/UBSan: sweep smoke test =="
     --sweep d=4:6:1 --trials 2 --threads 1 \
     --json build-asan/sweep-smoke-t1.json --quiet
 cmp build-asan/sweep-smoke.json build-asan/sweep-smoke-t1.json
+
+echo "== ASan/UBSan: defense-grid smoke test =="
+(cd build-asan && ./table_defenses --smoke > /dev/null)
 
 echo "== all checks passed =="

@@ -81,10 +81,12 @@ for flag in $snippet_flags; do
     fi
 done
 
-# ---- 3a. env.* / model.* keys in docs exist in the CLI. ----
+# ---- 3a. env.* / model.* / defense.* keys in docs exist in the CLI. ----
+# (file names like src/defense/defense.hh also match the key shape;
+# drop source-suffix hits before comparing against the CLI.)
 doc_keys=$(
-    grep -ohE '(env|model)\.[A-Za-z_]+\*?' "${DOCS[@]}" |
-    grep -v '\*$' | sort -u
+    grep -ohE '(env|model|defense)\.[A-Za-z_]+\*?' "${DOCS[@]}" |
+    grep -v '\*$' | grep -vE '\.(hh|cc|md)$' | sort -u
 )
 for key in $doc_keys; do
     if ! printf '%s\n' "$list_text" | grep -qw -- "$key"; then

@@ -4,6 +4,7 @@
 #include <cmath>
 #include "common/edit_distance.hh"
 #include "common/logging.hh"
+#include "defense/defense.hh"
 #include "noise/environment.hh"
 
 namespace lf {
@@ -39,6 +40,15 @@ ChannelResult
 CovertChannel::transmit(const std::vector<bool> &message,
                         Environment &env, int preamble_bits)
 {
+    return transmit(message, env, Defense::noDefense(),
+                    preamble_bits);
+}
+
+ChannelResult
+CovertChannel::transmit(const std::vector<bool> &message,
+                        Environment &env, Defense &defense,
+                        int preamble_bits)
+{
     if (preamble_bits < 0)
         preamble_bits = cfg_.preambleBits;
     if (preamble_bits < 2)
@@ -50,15 +60,25 @@ CovertChannel::transmit(const std::vector<bool> &message,
         setupDone_ = true;
     }
 
-    // One transmission slot under the environment: interference lands
-    // before the bit (frontend pollution, scheduler delay) and on the
-    // raw observable (window stretch, timer/meter degradation). With
-    // a quiet environment both hooks are exact no-ops.
+    // The defended machine is configured before the first slot
+    // (static partitions, MITE-only delivery); a no-op for an
+    // inactive defense.
+    defense.arm(core_);
+
+    // One transmission slot under the environment and the defense:
+    // interference lands before the bit (frontend pollution,
+    // scheduler delay), the defense acts at the slot start (flush
+    // quanta, index re-salting) and pads the machine's raw
+    // observable, and the environment then degrades the measurement
+    // (window stretch, timer/meter noise). With a quiet environment
+    // and an inactive defense every hook is an exact no-op.
     const auto observe = [&](bool bit) {
         env.beginSlot(core_);
+        defense.beginSlot(core_);
         const double raw = transmitBit(bit);
-        return observableIsPower() ? env.perturbPower(raw)
-                                   : env.perturbTiming(raw);
+        if (observableIsPower())
+            return env.perturbPower(defense.filterPower(raw));
+        return env.perturbTiming(defense.filterTiming(raw));
     };
 
     // Warmup: the very first transmissions pay cold-start costs (L1I

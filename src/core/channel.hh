@@ -28,6 +28,7 @@
 
 namespace lf {
 
+class Defense;
 class Environment;
 
 /** Parameters shared by the channel implementations (Sec. V names). */
@@ -140,6 +141,20 @@ class CovertChannel
      */
     ChannelResult transmit(const std::vector<bool> &message,
                            Environment &env, int preamble_bits = -1);
+
+    /**
+     * Same, on a machine deploying @p defense (src/defense) under
+     * @p env: the defense reconfigures the core once
+     * (Defense::arm()), acts at every slot start (beginSlot(): DSB
+     * flush quanta, index re-salting), and pads the raw observable
+     * (filterTiming()/filterPower()) before the environment's
+     * degradation — mitigations are machine-side, interference is
+     * measurement-side. An inactive Defense reproduces the
+     * environment overload bit for bit.
+     */
+    ChannelResult transmit(const std::vector<bool> &message,
+                           Environment &env, Defense &defense,
+                           int preamble_bits = -1);
 
     Core &core() { return core_; }
     const ChannelConfig &config() const { return cfg_; }

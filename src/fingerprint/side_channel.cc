@@ -65,12 +65,17 @@ class VictimDriver
 
 std::vector<double>
 attackerIpcTrace(const CpuModel &model, const VictimWorkload &victim,
-                 const TraceConfig &config, std::uint64_t seed)
+                 const TraceConfig &config, std::uint64_t seed,
+                 const DefenseSpec &defense_spec)
 {
     lf_assert(model.smtEnabled,
               "the IPC side channel needs SMT (disabled on %s)",
               model.name.c_str());
-    Core core(model, seed);
+    CpuModel defended_model = model;
+    applyDefenseToModel(defended_model, defense_spec);
+    Core core(defended_model, seed);
+    Defense defense(defense_spec, seed);
+    defense.arm(core);
     Rng rng(seed ^ 0xf17e5);
 
     const ChainProgram attacker =
@@ -86,6 +91,9 @@ attackerIpcTrace(const CpuModel &model, const VictimWorkload &victim,
     std::vector<double> trace;
     trace.reserve(static_cast<std::size_t>(config.samples));
     for (int s = 0; s < config.samples; ++s) {
+        // One IPC sample is one defense slot: periodic DSB flushes
+        // and index re-salts land between samples.
+        defense.beginSlot(core);
         const std::uint64_t insts0 =
             core.counters(kAttacker).retiredInsts;
         Cycles to_go = config.sampleCycles;
@@ -100,7 +108,11 @@ attackerIpcTrace(const CpuModel &model, const VictimWorkload &victim,
             static_cast<double>(core.counters(kAttacker).retiredInsts -
                                 insts0) /
             static_cast<double>(config.sampleCycles);
-        trace.push_back(ipc + rng.gaussian(0.0, config.ipcNoiseStddev));
+        // Observable smoothing pads the sampled waveform itself
+        // (down, toward the running worst-case IPC); the attacker's
+        // own timer noise lands after it.
+        trace.push_back(defense.filterRate(ipc) +
+                        rng.gaussian(0.0, config.ipcNoiseStddev));
     }
     return trace;
 }
@@ -125,7 +137,8 @@ FingerprintStudy
 runFingerprintStudy(const CpuModel &model,
                     const std::vector<VictimWorkload> &workloads,
                     const TraceConfig &config, int runs_per_workload,
-                    std::uint64_t seed_base)
+                    std::uint64_t seed_base,
+                    const DefenseSpec &defense)
 {
     lf_assert(runs_per_workload >= 2,
               "need >= 2 runs for intra-distance");
@@ -138,7 +151,8 @@ runFingerprintStudy(const CpuModel &model,
             runs.push_back(attackerIpcTrace(
                 model, workload, config,
                 seed_base + static_cast<std::uint64_t>(r) * 131 +
-                    study.names.size() * 7919));
+                    study.names.size() * 7919,
+                defense));
         }
         study.traces.push_back(std::move(runs));
     }

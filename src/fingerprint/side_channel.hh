@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "defense/defense.hh"
 #include "fingerprint/workloads.hh"
 #include "sim/cpu_model.hh"
 
@@ -41,12 +42,20 @@ struct TraceConfig
 /**
  * Record the attacker's IPC trace while @p victim runs on the sibling
  * thread. @p seed varies noise and phase jitter (a different run of
- * the same victim).
+ * the same victim). @p defense deploys frontend mitigations
+ * (src/defense) on the attacked machine: the core is armed before the
+ * trace, each IPC sample is one defense slot (flush quanta, index
+ * re-salting), and observable smoothing pads the sampled IPC. The
+ * attacker's loop deliberately exceeds the LSD and encodes no DSB
+ * state, so DSB/LSD partitioning leaves its waveform intact — the
+ * Sec. XI robustness claim.
  */
 std::vector<double> attackerIpcTrace(const CpuModel &model,
                                      const VictimWorkload &victim,
                                      const TraceConfig &config,
-                                     std::uint64_t seed);
+                                     std::uint64_t seed,
+                                     const DefenseSpec &defense =
+                                         DefenseSpec{});
 
 /** Solo-attacker baseline IPC (no victim co-running). */
 double attackerBaselineIpc(const CpuModel &model,
@@ -69,14 +78,17 @@ struct FingerprintStudy
 
 /**
  * Run @p runsPerWorkload traces of every workload and compute the
- * intra/inter distance statistics of Figs. 11-12.
+ * intra/inter distance statistics of Figs. 11-12, optionally with
+ * every trace recorded on a machine deploying @p defense.
  */
 FingerprintStudy runFingerprintStudy(const CpuModel &model,
                                      const std::vector<VictimWorkload> &
                                          workloads,
                                      const TraceConfig &config,
                                      int runs_per_workload = 3,
-                                     std::uint64_t seed_base = 1000);
+                                     std::uint64_t seed_base = 1000,
+                                     const DefenseSpec &defense =
+                                         DefenseSpec{});
 
 } // namespace lf
 

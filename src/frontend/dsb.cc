@@ -1,6 +1,7 @@
 #include "frontend/dsb.hh"
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace lf {
 
@@ -18,8 +19,17 @@ Dsb::Dsb(const FrontendParams &params)
 int
 Dsb::setOf(ThreadId tid, Addr key) const
 {
-    const auto window_index =
+    auto window_index =
         static_cast<int>((key >> 5) & static_cast<Addr>(numSets_ - 1));
+    if (salt_ != 0) {
+        // Keyed mapping: fold the tag bits (above set + offset) and
+        // the epoch salt into the index so same-index/different-tag
+        // lines scatter to different sets.
+        window_index = static_cast<int>(
+            (static_cast<Addr>(window_index) ^
+             splitmix64((key >> 10) ^ salt_)) &
+            static_cast<Addr>(numSets_ - 1));
+    }
     if (!partitioned_)
         return window_index;
     const int half = numSets_ / 2;
@@ -148,6 +158,23 @@ Dsb::setPartitioned(bool partitioned)
     // are no longer where the index function says they should be are
     // lost (the hardware analogue: the repartition reshuffles the
     // storage assignment and stale entries cannot be found again).
+    for (int set = 0; set < numSets_; ++set) {
+        for (int way = 0; way < numWays_; ++way) {
+            Line *line = lineAt(set, way);
+            if (line->valid && setOf(line->tid, line->key) != set)
+                invalidate(*line);
+        }
+    }
+}
+
+void
+Dsb::setIndexSalt(std::uint64_t salt)
+{
+    if (salt_ == salt)
+        return;
+    salt_ = salt;
+    // Same mechanism as a repartition: lines that are not where the
+    // new index function says they should be cannot be found again.
     for (int set = 0; set < numSets_; ++set) {
         for (int way = 0; way < numWays_; ++way) {
             Line *line = lineAt(set, way);

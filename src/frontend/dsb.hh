@@ -74,6 +74,17 @@ class Dsb
     void setPartitioned(bool partitioned);
     bool partitioned() const { return partitioned_; }
 
+    /**
+     * Install a keyed (CEASER-style) set-index mapping: with a
+     * non-zero @p salt the index mixes the line's tag bits with the
+     * salt, so equal-index/different-tag addresses no longer collide
+     * in one set. Salt 0 restores the plain addr[9:5] mapping. Lines
+     * whose index moved under the new key are invalidated (with
+     * callback). No-op if the salt is unchanged.
+     */
+    void setIndexSalt(std::uint64_t salt);
+    std::uint64_t indexSalt() const { return salt_; }
+
     /** Set index of @p key for @p tid under the current mode. */
     int setOf(ThreadId tid, Addr key) const;
 
@@ -116,6 +127,7 @@ class Dsb
     int numSets_;
     int numWays_;
     bool partitioned_ = false;
+    std::uint64_t salt_ = 0;
     std::vector<Line> lines_;
     std::uint64_t lruClock_ = 0;
     EvictFn evictFn_;

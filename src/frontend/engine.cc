@@ -109,14 +109,28 @@ void
 FrontendEngine::tick()
 {
     ++cycle_;
-    int delivered = kInvalidThread;
+    std::array<bool, kNumThreads> delivered{};
+    if (lsdStaticPartition_) {
+        // Statically split replay port: engaged loops stream
+        // privately into their IDQs and leave the shared MITE/DSB
+        // slot to the non-streaming thread(s).
+        for (int tid = 0; tid < kNumThreads; ++tid) {
+            ThreadState &ts = threads_[static_cast<std::size_t>(tid)];
+            if (ts.lsdActive && !ts.pendingChunk && deliverable(ts)) {
+                deliverLsd(tid);
+                delivered[static_cast<std::size_t>(tid)] = true;
+            }
+        }
+    }
     for (int i = 0; i < kNumThreads; ++i) {
         const int tid = (lastSlot_ + 1 + i) % kNumThreads;
+        if (delivered[static_cast<std::size_t>(tid)])
+            continue;
         if (!deliverable(threads_[static_cast<std::size_t>(tid)]))
             continue;
         deliver(tid);
         lastSlot_ = tid;
-        delivered = tid;
+        delivered[static_cast<std::size_t>(tid)] = true;
         break;
     }
     // Stall cycles elapse for every thread that did not deliver this
@@ -124,7 +138,7 @@ FrontendEngine::tick()
     // N cycles.
     for (int tid = 0; tid < kNumThreads; ++tid) {
         ThreadState &ts = threads_[static_cast<std::size_t>(tid)];
-        if (tid != delivered && ts.stall > 0)
+        if (!delivered[static_cast<std::size_t>(tid)] && ts.stall > 0)
             --ts.stall;
     }
 }
@@ -153,7 +167,7 @@ FrontendEngine::deliver(ThreadId tid)
         ts.halted = true;
         return;
     }
-    const bool hit = dsb_.lookup(tid, ts.pc) >= 0;
+    const bool hit = dsbEnabled_ && dsb_.lookup(tid, ts.pc) >= 0;
     const Cycles penalty =
         hit ? dsbPenalty(tid, *chunk) : mitePenalty(tid, *chunk);
     if (penalty > 0) {
@@ -232,7 +246,11 @@ FrontendEngine::deliverLsd(ThreadId tid)
     const std::size_t body_uops = ts.lsdBody.size();
     lf_assert(body_uops > 0, "LSD active with empty body");
     const int space = params_.idqEntries - static_cast<int>(ts.idq.size());
-    int n = std::min({params_.dsbLineUops,
+    // A statically partitioned replay port streams at half width —
+    // the thread keeps only its half even with the sibling idle.
+    const int width = lsdStaticPartition_
+        ? std::max(1, params_.dsbLineUops / 2) : params_.dsbLineUops;
+    int n = std::min({width,
                       static_cast<int>(body_uops - ts.lsdPos), space});
     lf_assert(n > 0, "LSD delivery with no progress");
     for (int i = 0; i < n; ++i)
@@ -290,7 +308,7 @@ void
 FrontendEngine::deliverFromMite(ThreadId tid, const Chunk &chunk)
 {
     ThreadState &ts = state(tid);
-    if (chunk.cacheable())
+    if (dsbEnabled_ && chunk.cacheable())
         dsb_.insert(tid, chunk.start, chunk.uops);
     pushUops(tid, chunk);
     ts.counters.uopsMite += static_cast<std::uint64_t>(chunk.uops);
@@ -437,6 +455,25 @@ FrontendEngine::setPoisoned(Addr key) const
 }
 
 void
+FrontendEngine::setDsbEnabled(bool enabled)
+{
+    if (dsbEnabled_ == enabled)
+        return;
+    dsbEnabled_ = enabled;
+    if (!enabled) {
+        // The micro-op cache goes dark: resident lines (and any LSD
+        // loop built on them, via the eviction callback) are lost.
+        dsb_.flushAll();
+    }
+}
+
+void
+FrontendEngine::setLsdStaticPartition(bool partitioned)
+{
+    lsdStaticPartition_ = partitioned;
+}
+
+void
 FrontendEngine::setPartitioned(bool partitioned)
 {
     if (dsb_.partitioned() == partitioned)
@@ -479,9 +516,10 @@ FrontendEngine::speculativeFetch(ThreadId tid, Addr start, int max_chunks)
         const Chunk *chunk = ts.chunks->get(pc);
         if (!chunk || chunk->halt)
             return;
-        if (dsb_.lookup(tid, pc) < 0) {
+        if (!dsbEnabled_ || dsb_.lookup(tid, pc) < 0) {
             chargeL1i(tid, *chunk); // latency irrelevant on wrong path
-            dsb_.insert(tid, chunk->start, chunk->uops);
+            if (dsbEnabled_)
+                dsb_.insert(tid, chunk->start, chunk->uops);
         }
         ++ts.counters.specChunks;
         if (chunk->endsBranch) {

@@ -82,6 +82,26 @@ class FrontendEngine
     bool partitioned() const { return dsb_.partitioned(); }
     /// @}
 
+    /** @name Mitigation hooks (src/defense) */
+    /// @{
+    /**
+     * MITE-only delivery: with the DSB disabled, lookups never hit,
+     * MITE decodes stop filling lines, and (through inclusion) the
+     * LSD never engages. Disabling flushes the current contents.
+     */
+    void setDsbEnabled(bool enabled);
+    bool dsbEnabled() const { return dsbEnabled_; }
+
+    /**
+     * Static SMT split of the LSD replay port: an engaged loop
+     * streams privately into its IDQ — without arbitrating for the
+     * shared MITE/DSB delivery slot — but at half the replay width,
+     * whether or not the sibling thread runs (non-work-conserving).
+     */
+    void setLsdStaticPartition(bool partitioned);
+    bool lsdStaticPartition() const { return lsdStaticPartition_; }
+    /// @}
+
     /**
      * Transient (wrong-path) fetch: walk up to @p max_chunks chunks
      * from @p start through the normal L1I/DSB fill path *without*
@@ -166,6 +186,8 @@ class FrontendEngine
     L1iCache l1i_;
     Dsb dsb_;
     Bpu bpu_;
+    bool dsbEnabled_ = true;
+    bool lsdStaticPartition_ = false;
     std::array<ThreadState, kNumThreads> threads_;
     Cycles cycle_ = 0;
     int lastSlot_ = kNumThreads - 1;

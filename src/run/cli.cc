@@ -2,6 +2,12 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
+
+#include "common/table.hh"
+#include "defense/defense.hh"
+#include "noise/environment.hh"
+#include "sim/cpu_model.hh"
 
 namespace lf {
 
@@ -176,6 +182,56 @@ parseShardArg(const std::string &text, SweepShard &shard)
     shard.index = index;
     shard.count = count;
     return "";
+}
+
+std::string
+renderChannelCatalog()
+{
+    TextTable table("Registered covert channels");
+    table.setHeader({"Name", "Needs", "Default", "Description"});
+    for (const std::string &name : allChannelNames()) {
+        const ChannelInfo &info = channelInfo(name);
+        std::string needs;
+        if (info.requiresSmt)
+            needs += "SMT ";
+        if (info.requiresSgx)
+            needs += "SGX ";
+        if (needs.empty())
+            needs = "-";
+        const ChannelConfig &cfg = info.defaultConfig;
+        std::string defaults = "d=" + std::to_string(cfg.d) +
+            " M=" + std::to_string(cfg.M) +
+            (cfg.stealthy ? " stealthy" : "");
+        table.addRow({name, needs, defaults, info.description});
+    }
+    std::ostringstream os;
+    os << table.render() << "\nCPU models:";
+    for (const CpuModel *cpu : allCpuModels())
+        os << " \"" << cpu->name << "\"";
+    os << "\n";
+    return os.str();
+}
+
+std::string
+renderOverrideKeyCatalog()
+{
+    const auto family = [](std::ostringstream &os, const char *title,
+                           const std::vector<std::string> &keys) {
+        os << title << ":\n ";
+        for (const std::string &key : keys)
+            os << " " << key;
+        os << "\n";
+    };
+    std::ostringstream os;
+    family(os, "Config override keys (--set / --sweep)",
+           channelOverrideKeys());
+    family(os, "CPU model override keys (--set / --sweep)",
+           modelOverrideKeys());
+    family(os, "Environment override keys (--set / --sweep)",
+           envOverrideKeys());
+    family(os, "Defense override keys (--set / --sweep)",
+           defenseOverrideKeys());
+    return os.str();
 }
 
 } // namespace lf

@@ -60,6 +60,23 @@ std::string parseSweepArg(const std::string &text,
 /** Parse an "i/n" shard selector (0 <= i < n). */
 std::string parseShardArg(const std::string &text, SweepShard &shard);
 
+/**
+ * The registry catalog the CLI prints for --list-channels: every
+ * registered channel (name, constraints, defaults, description) plus
+ * the CPU-model names. Rendered from the registry itself, so the
+ * listing cannot drift from what --channel accepts.
+ */
+std::string renderChannelCatalog();
+
+/**
+ * The override-key catalog the CLI prints for --list-axes: every key
+ * --set/--sweep accepts, grouped by family (ChannelConfig/extras,
+ * "model." CPU knobs, "env." environment knobs, "defense."
+ * mitigation knobs). Sourced from the same key tables the override
+ * appliers use, so the listing cannot drift from the parser.
+ */
+std::string renderOverrideKeyCatalog();
+
 } // namespace lf
 
 #endif // LF_RUN_CLI_HH

@@ -50,6 +50,8 @@ resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
             continue; // resolveSpecModel()'s job.
         if (isEnvOverrideKey(key))
             continue; // resolveSpecEnvironment()'s job.
+        if (isDefenseOverrideKey(key))
+            continue; // resolveSpecDefense()'s job.
         if (!applyChannelOverride(cfg, extras, key, value)) {
             return "unknown config override \"" + key +
                 "\" for channel " + spec.channel;
@@ -152,6 +154,19 @@ resolveSpecEnvironment(const ExperimentSpec &spec,
 }
 
 std::string
+resolveSpecDefense(const ExperimentSpec &spec, DefenseSpec &defense)
+{
+    defense = DefenseSpec{};
+    for (const auto &[key, value] : spec.overrides) {
+        if (!isDefenseOverrideKey(key))
+            continue;
+        if (!applyDefenseOverride(defense, key, value))
+            return "unknown defense override \"" + key + "\"";
+    }
+    return validateDefenseSpec(defense);
+}
+
+std::string
 validateSpec(const ExperimentSpec &spec)
 {
     if (!hasChannel(spec.channel))
@@ -166,6 +181,11 @@ validateSpec(const ExperimentSpec &spec)
     const std::string env_error = resolveSpecEnvironment(spec, env);
     if (!env_error.empty())
         return env_error;
+    DefenseSpec defense;
+    const std::string defense_error =
+        resolveSpecDefense(spec, defense);
+    if (!defense_error.empty())
+        return defense_error;
     ChannelConfig cfg;
     ChannelExtras extras;
     return resolveSpecConfig(spec, cfg, extras);
@@ -196,11 +216,17 @@ runExperiment(const ExperimentSpec &spec)
     resolveSpecConfig(spec, cfg, extras);
     EnvironmentSpec env_spec;
     resolveSpecEnvironment(spec, env_spec);
+    DefenseSpec defense_spec;
+    resolveSpecDefense(spec, defense_spec);
+    // Model-level mitigations (RAPL coarsening) bend the trial's
+    // private CPU-model copy before the Core is built.
+    applyDefenseToModel(cpu, defense_spec);
 
     Core core(cpu, spec.seed);
     auto channel = makeChannel(spec.channel, core, cfg, extras);
     Environment env(env_spec, spec.seed);
-    out.result = channel->transmit(specMessage(spec), env,
+    Defense defense(defense_spec, spec.seed);
+    out.result = channel->transmit(specMessage(spec), env, defense,
                                    spec.preambleBits);
     out.extras = extras;
     out.ok = true;

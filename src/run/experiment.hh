@@ -20,6 +20,7 @@
 
 #include "common/message.hh"
 #include "core/channel_registry.hh"
+#include "defense/defense.hh"
 #include "noise/environment.hh"
 
 namespace lf {
@@ -53,8 +54,10 @@ struct ExperimentSpec
      *  per-trial copy of the named CPU model — ablation sweeps bend
      *  the machine, not just the channel — plus "env."-prefixed
      *  environment knobs (keys as in applyEnvOverride()) composing
-     *  the trial's interference model. std::map keeps application
-     *  order deterministic. */
+     *  the trial's interference model, plus "defense."-prefixed
+     *  mitigation knobs (keys as in applyDefenseOverride())
+     *  composing the trial's defense deployment. std::map keeps
+     *  application order deterministic. */
     std::map<std::string, double> overrides;
 };
 
@@ -119,6 +122,15 @@ std::string resolveSpecModel(const ExperimentSpec &spec,
  */
 std::string resolveSpecEnvironment(const ExperimentSpec &spec,
                                    EnvironmentSpec &env);
+
+/**
+ * Resolve @p spec's defense deployment: a default (inactive)
+ * DefenseSpec with the spec's "defense." overrides applied and
+ * range-checked. @return an error message ("" on success), same
+ * contract as resolveSpecConfig().
+ */
+std::string resolveSpecDefense(const ExperimentSpec &spec,
+                               DefenseSpec &defense);
 
 /**
  * Validate names and config resolution; returns an error message or

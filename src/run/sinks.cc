@@ -9,11 +9,6 @@
 
 namespace lf {
 
-namespace {
-
-/** Round-trip-exact decimal rendering (17 significant digits);
- *  locale-independent and deterministic, so sink output can be
- *  byte-compared across runs and re-read without loss. */
 std::string
 jsonNumber(double value)
 {
@@ -21,6 +16,8 @@ jsonNumber(double value)
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     return buf;
 }
+
+namespace {
 
 std::string
 jsonEscape(const std::string &text)
@@ -44,12 +41,6 @@ jsonEscape(const std::string &text)
         }
     }
     return out;
-}
-
-std::string
-jsonString(const std::string &text)
-{
-    return "\"" + jsonEscape(text) + "\"";
 }
 
 std::string
@@ -102,6 +93,12 @@ writeExtrasJson(const ChannelExtras &extras, std::ostream &os)
 }
 
 } // namespace
+
+std::string
+jsonString(const std::string &text)
+{
+    return "\"" + jsonEscape(text) + "\"";
+}
 
 void
 ResultSink::writeFile(const std::vector<ExperimentResult> &results,

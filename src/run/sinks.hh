@@ -93,6 +93,19 @@ class JsonSink : public ResultSink
 /** Canonical output file name for a bench: "BENCH_<name>.json". */
 std::string benchJsonFileName(const std::string &bench_name);
 
+/** @name Shared JSON rendering
+ *  One definition of the BENCH_*.json value format, used by JsonSink
+ *  and bench::JsonReport alike so the two emitters cannot drift. */
+/// @{
+/** Round-trip-exact decimal rendering (17 significant digits);
+ *  locale-independent and deterministic, so sink output can be
+ *  byte-compared across runs and re-read without loss. */
+std::string jsonNumber(double value);
+
+/** Quoted, escaped JSON string literal. */
+std::string jsonString(const std::string &text);
+/// @}
+
 } // namespace lf
 
 #endif // LF_RUN_SINKS_HH

@@ -61,7 +61,8 @@ cellLabel(const SweepSpec &spec, const std::string &channel,
 }
 
 /** Is @p key a knob applyChannelOverride()/applyModelOverride()/
- *  applyEnvOverride() will accept? Probed against scratch targets. */
+ *  applyEnvOverride()/applyDefenseOverride() will accept? Probed
+ *  against scratch targets. */
 bool
 knownOverrideKey(const std::string &key)
 {
@@ -72,6 +73,10 @@ knownOverrideKey(const std::string &key)
     if (isEnvOverrideKey(key)) {
         EnvironmentSpec scratch;
         return applyEnvOverride(scratch, key, 1.0);
+    }
+    if (isDefenseOverrideKey(key)) {
+        DefenseSpec scratch;
+        return applyDefenseOverride(scratch, key, 1.0);
     }
     ChannelConfig cfg;
     ChannelExtras extras;
@@ -171,6 +176,40 @@ validateSweepSpec(const SweepSpec &spec)
         for (std::size_t b = 0; b < a; ++b) {
             if (spec.axes[b].key == axis.key)
                 return "duplicate sweep axis \"" + axis.key + "\"";
+        }
+    }
+    return "";
+}
+
+std::string
+validateSweepSpecValues(const SweepSpec &spec)
+{
+    ExperimentSpec probe;
+    probe.messageBits = spec.messageBits;
+    probe.preambleBits = spec.preambleBits;
+    for (const std::string &channel : spec.channels) {
+        probe.channel = channel;
+        for (const std::string &cpu : spec.cpus) {
+            probe.cpu = cpu;
+            probe.overrides = spec.baseOverrides;
+            std::string error = validateSpec(probe);
+            if (!error.empty()) {
+                return "invalid setting for channel " + channel +
+                    " on " + cpu + ": " + error;
+            }
+            for (const SweepAxis &axis : spec.axes) {
+                for (double value : axis.values) {
+                    probe.overrides = spec.baseOverrides;
+                    probe.overrides[axis.key] = value;
+                    error = validateSpec(probe);
+                    if (!error.empty()) {
+                        return "invalid sweep value " + axis.key +
+                            "=" + axisValueString(value) +
+                            " for channel " + channel + " on " + cpu +
+                            ": " + error;
+                    }
+                }
+            }
         }
     }
     return "";

@@ -89,6 +89,19 @@ std::string validateSweepShard(const SweepSpec &spec,
                                const SweepShard &shard);
 
 /**
+ * Check override *values* up front, the way the CLI wants it: every
+ * channel x CPU cell is probed with the base overrides, and every
+ * axis value is probed in isolation on top of them, through the same
+ * resolution path runExperiment() uses. "--set repetition=2" fails
+ * here with the resolver's message ("repetition must be odd...")
+ * instead of surfacing as per-trial error rows after the run starts.
+ * Values that are only invalid in *combination* (two axes that clash
+ * mid-grid) still become error rows. Call after validateSweepSpec()
+ * succeeds. @return an error message or the empty string.
+ */
+std::string validateSweepSpecValues(const SweepSpec &spec);
+
+/**
  * Expand @p spec (restricted to @p shard) into the flat, run-ready
  * ExperimentSpec batch. Fatal on an invalid spec/shard — call the
  * validators first when the input is user-supplied.

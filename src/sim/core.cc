@@ -14,19 +14,41 @@ Core::Core(const CpuModel &model, std::uint64_t seed)
 }
 
 void
-Core::setProgram(ThreadId tid, const Program *program)
+Core::refreshPartitionState()
 {
-    engine_.setProgram(tid, program);
     const bool both = engine_.threadHasProgram(0) &&
         engine_.threadHasProgram(1);
-    engine_.setPartitioned(model_.smtEnabled && both);
+    engine_.setPartitioned(model_.smtEnabled &&
+                           (both || staticPartition_));
+}
+
+void
+Core::setProgram(ThreadId tid, const Program *program)
+{
+    if (domainSwitchHook_)
+        domainSwitchHook_(*this);
+    engine_.setProgram(tid, program);
+    refreshPartitionState();
 }
 
 void
 Core::clearProgram(ThreadId tid)
 {
     engine_.clearProgram(tid);
-    engine_.setPartitioned(false);
+    refreshPartitionState();
+}
+
+void
+Core::setStaticPartition(bool on)
+{
+    staticPartition_ = on;
+    refreshPartitionState();
+}
+
+void
+Core::setDomainSwitchHook(std::function<void(Core &)> hook)
+{
+    domainSwitchHook_ = std::move(hook);
 }
 
 void

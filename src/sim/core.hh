@@ -15,6 +15,7 @@
 #define LF_SIM_CORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "backend/backend.hh"
@@ -42,6 +43,24 @@ class Core
     /// @{
     void setProgram(ThreadId tid, const Program *program);
     void clearProgram(ThreadId tid);
+
+    /**
+     * Static-partition mitigation (src/defense): pin the DSB in
+     * partitioned mode regardless of how many threads have programs
+     * bound, so binding/unbinding a sibling never repartitions. A
+     * no-op on SMT-disabled models.
+     */
+    void setStaticPartition(bool on);
+    bool staticPartition() const { return staticPartition_; }
+
+    /**
+     * Mitigation hook (src/defense): every setProgram() is a domain
+     * switch — a new protection domain is scheduled onto the thread —
+     * and the hook runs before the bind, where an OS-level
+     * flush-on-switch mitigation acts. Null (the default) disables
+     * the hook.
+     */
+    void setDomainSwitchHook(std::function<void(Core &)> hook);
     /// @}
 
     /** @name Simulation advance */
@@ -105,7 +124,10 @@ class Core
 
   private:
     void syncRaplEnergy();
+    void refreshPartitionState();
 
+    bool staticPartition_ = false;
+    std::function<void(Core &)> domainSwitchHook_;
     CpuModel model_;
     std::uint64_t seed_;
     FrontendEngine engine_;

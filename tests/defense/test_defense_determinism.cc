@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Determinism and direction contracts of the defense model under the
+ * run layer: an all-default DefenseSpec is bit-identical to the
+ * legacy no-defense path for every registry channel; active defenses
+ * keep the thread-count/shard/rerun bit-identity guarantees; and the
+ * headline mitigation directions hold — a finer flush quantum raises
+ * the stealthy channel's error, and static DSB/LSD partitioning
+ * drives the MT channels to chance while the IPC fingerprint keeps
+ * classifying (the Sec. XI robustness claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/side_channel.hh"
+#include "fingerprint/workloads.hh"
+#include "run/sinks.hh"
+#include "run/sweep.hh"
+#include "sim/cpu_model.hh"
+
+namespace lf {
+namespace {
+
+/** A sweep exercising several defense sources at once, on top of
+ *  environment noise (the two models must compose). */
+SweepSpec
+defendedSweep()
+{
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-stealthy-eviction", "slow-switch",
+                      "power-eviction"};
+    sweep.cpus = {gold6226().name, xeonE2288G().name};
+    sweep.axes = {{"defense.flush_switch_quantum", {0, 2}},
+                  {"defense.randomize_sets", {0, 1}}};
+    sweep.baseOverrides["defense.smoothing"] = 0.25;
+    sweep.baseOverrides["env.timer_noise_cycles"] = 4.0;
+    sweep.baseOverrides["powerRounds"] = 2000;
+    sweep.trials = 2;
+    sweep.messageBits = 10;
+    sweep.seed = 17;
+    return sweep;
+}
+
+/** Mean error rate over the ok trials of a batch. */
+double
+meanError(const std::vector<ExperimentResult> &results)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const ExperimentResult &res : results) {
+        if (!res.ok)
+            continue;
+        sum += res.result.errorRate;
+        ++n;
+    }
+    EXPECT_GT(n, 0);
+    return sum / n;
+}
+
+TEST(DefenseDeterminism, ThreadCountNeverChangesTheBytes)
+{
+    const SweepSpec sweep = defendedSweep();
+    const auto one = runSweep(sweep, ExperimentRunner(1));
+    const auto four = runSweep(sweep, ExperimentRunner(4));
+    const auto eight = runSweep(sweep, ExperimentRunner(8));
+    const std::string json1 = JsonSink("t").render(one);
+    EXPECT_EQ(json1, JsonSink("t").render(four));
+    EXPECT_EQ(json1, JsonSink("t").render(eight));
+}
+
+TEST(DefenseDeterminism, ShardsReproduceTheFullRunExactly)
+{
+    const SweepSpec sweep = defendedSweep();
+    const ExperimentRunner runner(4);
+    const auto full = runSweep(sweep, runner);
+
+    constexpr int kShards = 3;
+    std::vector<std::vector<ExperimentResult>> shards;
+    for (int i = 0; i < kShards; ++i)
+        shards.push_back(runSweep(sweep, runner, {i, kShards}));
+
+    std::size_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.size();
+    ASSERT_EQ(total, full.size());
+
+    std::vector<std::size_t> next(kShards, 0);
+    std::vector<ExperimentResult> merged;
+    const std::size_t per_cell =
+        static_cast<std::size_t>(sweep.trials);
+    for (std::size_t cell = 0; merged.size() < full.size(); ++cell) {
+        auto &shard = shards[cell % kShards];
+        std::size_t &pos = next[cell % kShards];
+        ASSERT_LE(pos + per_cell, shard.size() + 0);
+        for (std::size_t t = 0; t < per_cell; ++t)
+            merged.push_back(shard[pos++]);
+    }
+    EXPECT_EQ(JsonSink("t").render(merged),
+              JsonSink("t").render(full));
+}
+
+TEST(DefenseDeterminism, RerunBitIdentity)
+{
+    const SweepSpec sweep = defendedSweep();
+    const ExperimentRunner runner(4);
+    EXPECT_EQ(JsonSink("t").render(runSweep(sweep, runner)),
+              JsonSink("t").render(runSweep(sweep, runner)));
+}
+
+TEST(DefenseDeterminism,
+     InactiveDefenseMatchesLegacyPathForEveryChannel)
+{
+    // Every registry channel on one supported CPU each: explicit
+    // all-default defense.* overrides against no defense keys at
+    // all. The ChannelResults must agree bit for bit.
+    std::vector<ExperimentSpec> plain;
+    std::vector<ExperimentSpec> defended;
+    for (const std::string &channel : allChannelNames()) {
+        const CpuModel *cpu = nullptr;
+        for (const CpuModel *candidate : allCpuModels()) {
+            if (channelSupportedOn(channel, *candidate)) {
+                cpu = candidate;
+                break;
+            }
+        }
+        ASSERT_NE(cpu, nullptr) << channel;
+        ExperimentSpec spec;
+        spec.channel = channel;
+        spec.cpu = cpu->name;
+        spec.seed = 23;
+        spec.messageBits = 6;
+        // Keep the slow amplified channels quick.
+        spec.overrides["powerRounds"] = 2000;
+        spec.overrides["sgxRounds"] = 500;
+        spec.overrides["sgxMtSteps"] = 10;
+        plain.push_back(spec);
+        spec.overrides["defense.flush_switch_quantum"] = 0.0;
+        spec.overrides["defense.partition_dsb"] = 0.0;
+        spec.overrides["defense.partition_lsd"] = 0.0;
+        spec.overrides["defense.disable_dsb"] = 0.0;
+        spec.overrides["defense.randomize_sets"] = 0.0;
+        spec.overrides["defense.smoothing"] = 0.0;
+        spec.overrides["defense.rapl_quantum_uj"] = 0.0;
+        spec.overrides["defense.rapl_interval_scale"] = 1.0;
+        defended.push_back(spec);
+    }
+    const ExperimentRunner runner(4);
+    const auto expect = runner.run(plain);
+    const auto got = runner.run(defended);
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        const ChannelResult &a = expect[i].result;
+        const ChannelResult &b = got[i].result;
+        ASSERT_EQ(expect[i].ok, got[i].ok)
+            << expect[i].spec.channel;
+        EXPECT_EQ(a.received, b.received) << a.channelName;
+        EXPECT_EQ(a.errorRate, b.errorRate) << a.channelName;
+        EXPECT_EQ(a.transmissionKbps, b.transmissionKbps)
+            << a.channelName;
+        EXPECT_EQ(a.seconds, b.seconds) << a.channelName;
+        EXPECT_EQ(a.meanObs0, b.meanObs0) << a.channelName;
+        EXPECT_EQ(a.meanObs1, b.meanObs1) << a.channelName;
+    }
+}
+
+TEST(DefenseDirection, FinerFlushQuantumRaisesStealthyError)
+{
+    // The stealthy eviction channel carries its bit purely in DSB
+    // state across the encode-to-decode handoff; flushing on every
+    // switch kills it, a coarse quantum only wounds it.
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-stealthy-eviction"};
+    sweep.cpus = {gold6226().name};
+    sweep.patterns = {MessagePattern::AllOnes};
+    sweep.axes = {{"defense.flush_switch_quantum", {0, 16, 1}}};
+    sweep.trials = 2;
+    sweep.messageBits = 36;
+    sweep.seed = 503;
+    const auto results = runSweep(sweep, ExperimentRunner(4));
+    ASSERT_EQ(results.size(), 6u);
+    const auto at = [&](std::size_t cell) {
+        return std::vector<ExperimentResult>(
+            results.begin() + static_cast<std::ptrdiff_t>(2 * cell),
+            results.begin() +
+                static_cast<std::ptrdiff_t>(2 * cell + 2));
+    };
+    const double none = meanError(at(0));
+    const double coarse = meanError(at(1));
+    const double fine = meanError(at(2));
+    EXPECT_LE(none, 0.1);
+    EXPECT_GE(fine, 0.35);
+    EXPECT_GE(fine, coarse - 1e-12);
+    EXPECT_GE(coarse, none - 1e-12);
+}
+
+TEST(DefenseDirection, PartitioningKillsMtButNotFingerprinting)
+{
+    // Static DSB+LSD partitioning: the repartition observable never
+    // fires and the statically split LSD replay makes the receiver's
+    // timing sibling-independent, so the MT channel decodes at
+    // chance...
+    SweepSpec mt;
+    mt.channels = {"mt-eviction"};
+    mt.cpus = {gold6226().name};
+    mt.patterns = {MessagePattern::AllOnes};
+    mt.trials = 2;
+    mt.messageBits = 32;
+    mt.preambleBits = 32;
+    mt.seed = 9;
+    const auto plain = runSweep(mt, ExperimentRunner(2));
+    mt.baseOverrides["defense.partition_dsb"] = 1.0;
+    mt.baseOverrides["defense.partition_lsd"] = 1.0;
+    const auto defended = runSweep(mt, ExperimentRunner(2));
+    EXPECT_LE(meanError(plain), 0.3);
+    EXPECT_GE(meanError(defended), 0.35);
+
+    // ...while the IPC fingerprint — no DSB state, a loop that
+    // exceeds the LSD on purpose — keeps its contention waveform
+    // and classifies within 5 points of the undefended run.
+    TraceConfig config;
+    config.samples = 50;
+    DefenseSpec partition;
+    partition.partition.dsb = true;
+    partition.partition.lsd = true;
+    const FingerprintStudy undefended = runFingerprintStudy(
+        gold6226(), cnnWorkloads(), config, 2);
+    const FingerprintStudy partitioned = runFingerprintStudy(
+        gold6226(), cnnWorkloads(), config, 2, 1000, partition);
+    EXPECT_GE(partitioned.classificationAccuracy,
+              undefended.classificationAccuracy - 0.05);
+    EXPECT_GE(partitioned.classificationAccuracy, 0.9);
+    EXPECT_GT(partitioned.meanInterDistance,
+              partitioned.meanIntraDistance);
+}
+
+TEST(DefenseDirection, RaplCoarseningKillsThePowerChannel)
+{
+    SweepSpec power;
+    power.channels = {"power-eviction"};
+    power.cpus = {gold6226().name};
+    power.trials = 2;
+    power.messageBits = 12;
+    power.preambleBits = 8;
+    power.seed = 61;
+    power.baseOverrides["powerRounds"] = 20000;
+    const auto plain = runSweep(power, ExperimentRunner(2));
+    power.baseOverrides["defense.rapl_quantum_uj"] = 50000.0;
+    const auto defended = runSweep(power, ExperimentRunner(2));
+    EXPECT_LE(meanError(plain), 0.05);
+    EXPECT_GE(meanError(defended), 0.25);
+}
+
+} // namespace
+} // namespace lf

@@ -2,13 +2,19 @@
  * @file
  * CLI parsing tests: strict number parsing (trailing garbage such as
  * "40x" must be rejected — std::stod used to silently read 40),
- * duplicate --set keys, the --sweep axis grammar, and --shard
- * selectors.
+ * duplicate --set keys, the --sweep axis grammar, --shard selectors,
+ * the --list-channels/--list-axes catalogs (rendered from the same
+ * tables the parser uses, so they cannot drift), and the up-front
+ * override-value validation ("--set repetition=2" fails at parse
+ * time with the resolver's message).
  */
 
 #include <gtest/gtest.h>
 
+#include "defense/defense.hh"
+#include "noise/environment.hh"
 #include "run/cli.hh"
+#include "sim/cpu_model.hh"
 
 namespace lf {
 namespace {
@@ -196,6 +202,110 @@ TEST(ShardParsing, RejectsBadSelectors)
     EXPECT_FALSE(parseShardArg("/4", shard).empty());
     EXPECT_FALSE(parseShardArg("a/b", shard).empty());
     EXPECT_FALSE(parseShardArg("0/0", shard).empty());
+}
+
+TEST(SetParsing, DefenseKeysAreJustAsStrict)
+{
+    std::map<std::string, double> overrides;
+    EXPECT_EQ(parseSetArg("defense.partition_dsb=1", overrides), "");
+    EXPECT_EQ(overrides.at("defense.partition_dsb"), 1.0);
+
+    std::string error =
+        parseSetArg("defense.smoothing=0.5x", overrides);
+    EXPECT_NE(error.find("bad --set value"), std::string::npos);
+
+    error = parseSetArg("defense.partition_dsb=0", overrides);
+    EXPECT_NE(error.find("duplicate --set key"), std::string::npos);
+    EXPECT_EQ(overrides.at("defense.partition_dsb"), 1.0);
+
+    // Key existence is the sweep validator's job, same as env.*.
+    overrides.clear();
+    EXPECT_EQ(parseSetArg("defense.bogus=1", overrides), "");
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction"};
+    sweep.cpus = {"Gold 6226"};
+    sweep.baseOverrides = overrides;
+    EXPECT_NE(validateSweepSpec(sweep).find("defense.bogus"),
+              std::string::npos);
+
+    sweep.baseOverrides.clear();
+    sweep.baseOverrides["defense.flush_switch_quantum"] = 4.0;
+    EXPECT_EQ(validateSweepSpec(sweep), "");
+}
+
+TEST(ValueValidation, RepetitionRejectedAtParseTime)
+{
+    // The satellite contract: "--set repetition=2" must fail before
+    // any trial runs, with the resolver's message, instead of
+    // surfacing as error rows from deep inside the run.
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction"};
+    sweep.cpus = {"Gold 6226"};
+    sweep.baseOverrides["repetition"] = 2.0;
+    ASSERT_EQ(validateSweepSpec(sweep), "");
+    const std::string error = validateSweepSpecValues(sweep);
+    EXPECT_NE(error.find("repetition must be odd"),
+              std::string::npos)
+        << error;
+}
+
+TEST(ValueValidation, ProtocolShapeAndDefenseRangesCheckedUpFront)
+{
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction"};
+    sweep.cpus = {"Gold 6226"};
+    ASSERT_EQ(validateSweepSpecValues(sweep), "");
+
+    sweep.baseOverrides["d"] = 40.0; // > N
+    EXPECT_NE(validateSweepSpecValues(sweep).find("out of range"),
+              std::string::npos);
+    sweep.baseOverrides.clear();
+
+    sweep.baseOverrides["defense.smoothing"] = 2.0;
+    EXPECT_NE(
+        validateSweepSpecValues(sweep).find("defense.smoothing"),
+        std::string::npos);
+    sweep.baseOverrides.clear();
+
+    sweep.baseOverrides["env.corunner_intensity"] = 3.0;
+    EXPECT_NE(validateSweepSpecValues(sweep).find(
+                  "env.corunner_intensity"),
+              std::string::npos);
+    sweep.baseOverrides.clear();
+
+    // Every axis value is probed in isolation: the bad middle value
+    // of a sweep list is reported with its key and value.
+    sweep.axes = {{"rounds", {5, 0, 10}}};
+    const std::string error = validateSweepSpecValues(sweep);
+    EXPECT_NE(error.find("rounds=0"), std::string::npos) << error;
+}
+
+TEST(Catalogs, ChannelCatalogListsEveryRegistryChannel)
+{
+    const std::string catalog = renderChannelCatalog();
+    for (const std::string &name : allChannelNames())
+        EXPECT_NE(catalog.find(name), std::string::npos) << name;
+    for (const CpuModel *cpu : allCpuModels()) {
+        EXPECT_NE(catalog.find("\"" + cpu->name + "\""),
+                  std::string::npos)
+            << cpu->name;
+    }
+}
+
+TEST(Catalogs, AxisCatalogListsEveryOverrideKeyFamily)
+{
+    // The listing is rendered from the same key tables the override
+    // appliers use, so a key added to any family shows up here
+    // without further wiring — this test pins that contract.
+    const std::string catalog = renderOverrideKeyCatalog();
+    for (const std::string &key : channelOverrideKeys())
+        EXPECT_NE(catalog.find(" " + key), std::string::npos) << key;
+    for (const std::string &key : modelOverrideKeys())
+        EXPECT_NE(catalog.find(" " + key), std::string::npos) << key;
+    for (const std::string &key : envOverrideKeys())
+        EXPECT_NE(catalog.find(" " + key), std::string::npos) << key;
+    for (const std::string &key : defenseOverrideKeys())
+        EXPECT_NE(catalog.find(" " + key), std::string::npos) << key;
 }
 
 } // namespace

@@ -1,16 +1,29 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator substrate itself:
- * core tick throughput, chunk building, DSB lookups, end-to-end
- * covert-channel bit cost, and the run-layer overheads (sweep grid
- * expansion, one full experiment trial). These guard the simulation
- * speed that the table/figure benches depend on.
+ * Simulator/runner microbenchmarks, in two parts:
+ *
+ *  1. A hand-timed ExperimentRunner throughput section (always runs,
+ *     `--smoke` shrinks it for sanitizer CI): trials/sec at 1/4/8
+ *     worker threads with per-worker core reuse vs a fresh Core per
+ *     trial, emitted as BENCH_runner_throughput.json — the perf
+ *     trajectory of the run layer.
+ *  2. google-benchmark microbenchmarks of the substrate: core tick
+ *     throughput, DSB lookups, Core reset-vs-construct cost,
+ *     end-to-end covert-channel bit cost, and the run-layer
+ *     overheads (sweep grid expansion, one full experiment trial).
+ *     Skipped in --smoke mode.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
 #include "core/nonmt_channels.hh"
 #include "isa/mix_block.hh"
+#include "run/report.hh"
+#include "run/sinks.hh"
 #include "run/sweep.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
@@ -18,6 +31,161 @@
 
 namespace lf {
 namespace {
+
+// ---- Part 1: runner throughput (BENCH_runner_throughput.json). ----
+
+/** Cheap, valid trial spec: construction overhead must be visible
+ *  next to the simulation work, so bits and rounds are minimal. */
+ExperimentSpec
+throughputSpec()
+{
+    ExperimentSpec spec;
+    spec.channel = "nonmt-fast-eviction";
+    spec.cpu = "E-2288G";
+    spec.seed = 7;
+    spec.messageBits = 4;
+    spec.preambleBits = 4;
+    spec.overrides["rounds"] = 2;
+    spec.overrides["initIters"] = 2;
+    return spec;
+}
+
+double
+trialsPerSec(const ExperimentRunner &runner,
+             const std::vector<ExperimentSpec> &batch, int reps)
+{
+    using Clock = std::chrono::steady_clock;
+    // Best-of-reps: scheduler hiccups only ever slow a rep down, so
+    // the max is the least-noisy throughput estimate.
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const Clock::time_point start = Clock::now();
+        std::size_t delivered = 0;
+        runner.run(batch, [&delivered](const ExperimentResult &res) {
+            if (res.ok)
+                ++delivered;
+        });
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        if (delivered != batch.size())
+            std::fprintf(stderr, "warning: %zu/%zu trials ok\n",
+                         delivered, batch.size());
+        if (seconds > 0.0) {
+            best = std::max(
+                best, static_cast<double>(batch.size()) / seconds);
+        }
+    }
+    return best;
+}
+
+/** Direct per-trial construction-cost comparison: nanoseconds to
+ *  construct a fresh Core vs to Core::reset() an existing one —
+ *  exactly the work the streaming runner's core reuse saves per
+ *  trial. Best-of-reps over sizeable loops, so the comparison stays
+ *  meaningful on noisy shared machines where the end-to-end
+ *  trials/sec delta (construction is ~0.1% of a trial) drowns in
+ *  scheduler jitter. */
+void
+measureCoreReuse(int iters, int reps, double &construct_ns,
+                 double &reset_ns)
+{
+    using Clock = std::chrono::steady_clock;
+    const CpuModel &model = xeonE2288G();
+    construct_ns = 0.0;
+    reset_ns = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        Clock::time_point start = Clock::now();
+        for (int i = 0; i < iters; ++i) {
+            Core core(model, static_cast<std::uint64_t>(i) + 1);
+            benchmark::DoNotOptimize(core.cycle());
+        }
+        const double construct =
+            std::chrono::duration<double, std::nano>(Clock::now() -
+                                                     start)
+                .count() / iters;
+        Core core(model, 1);
+        start = Clock::now();
+        for (int i = 0; i < iters; ++i) {
+            core.reset(model, static_cast<std::uint64_t>(i) + 1);
+            benchmark::DoNotOptimize(core.cycle());
+        }
+        const double reset =
+            std::chrono::duration<double, std::nano>(Clock::now() -
+                                                     start)
+                .count() / iters;
+        if (rep == 0 || construct < construct_ns)
+            construct_ns = construct;
+        if (rep == 0 || reset < reset_ns)
+            reset_ns = reset;
+    }
+}
+
+int
+emitRunnerThroughput(bool smoke)
+{
+    const int trials = smoke ? 64 : 256;
+    const int reps = smoke ? 1 : 3;
+    const auto batch = expandTrials(throughputSpec(), trials);
+
+    bench::banner("Runner throughput (per-worker core reuse vs fresh"
+                  " Core per trial)");
+    bench::JsonReport report("runner_throughput");
+    report.integer("trials", trials);
+    report.integer("message_bits", 4);
+    report.boolean("smoke", smoke);
+
+    double reused_t1 = 0.0;
+    double fresh_t1 = 0.0;
+    std::printf("%8s  %18s  %18s\n", "threads", "reused (trials/s)",
+                "fresh (trials/s)");
+    for (const int threads : {1, 4, 8}) {
+        ExperimentRunner reused(threads);
+        ExperimentRunner fresh(threads);
+        fresh.setCoreReuse(false);
+        // Fresh first, reused second: if anything, the warmed
+        // allocator favours the later run equally.
+        const double fresh_tps = trialsPerSec(fresh, batch, reps);
+        const double reused_tps = trialsPerSec(reused, batch, reps);
+        std::printf("%8d  %18.1f  %18.1f\n", threads, reused_tps,
+                    fresh_tps);
+        const std::string suffix =
+            "_t" + std::to_string(threads) + "_trials_per_sec";
+        report.number("reused" + suffix, reused_tps);
+        report.number("fresh" + suffix, fresh_tps);
+        if (threads == 1) {
+            reused_t1 = reused_tps;
+            fresh_t1 = fresh_tps;
+        }
+    }
+    double construct_ns = 0.0;
+    double reset_ns = 0.0;
+    measureCoreReuse(smoke ? 2000 : 20000, smoke ? 2 : 5,
+                     construct_ns, reset_ns);
+    std::printf("\nper-trial construction cost: fresh Core %.0f ns,"
+                " Core::reset %.0f ns (%.1fx)\n",
+                construct_ns, reset_ns,
+                reset_ns > 0.0 ? construct_ns / reset_ns : 0.0);
+    report.number("core_construct_ns", construct_ns);
+    report.number("core_reset_ns", reset_ns);
+    report.number("reuse_speedup_t1",
+                  fresh_t1 > 0.0 ? reused_t1 / fresh_t1 : 0.0);
+
+    report.writeFile(benchJsonFileName("runner_throughput"));
+    std::printf("\nwrote %s\n",
+                benchJsonFileName("runner_throughput").c_str());
+    // Gate on the isolated construction-vs-reset measurement: the
+    // end-to-end trials/sec tables above carry the throughput
+    // trajectory, but their reuse delta (construction is a fraction
+    // of a percent of one trial) sits below shared-CI scheduler
+    // noise. Skipped under --smoke (sanitizer timing skew).
+    if (smoke)
+        return 0;
+    return bench::shapeCheck("core reuse beats per-trial construction",
+                             reset_ns < construct_ns);
+}
+
+// ---- Part 2: google-benchmark substrate microbenchmarks. ----
 
 void
 BM_CoreTickDsbLoop(benchmark::State &state)
@@ -68,6 +236,33 @@ BM_DsbLookup(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DsbLookup);
+
+void
+BM_CoreConstruct(benchmark::State &state)
+{
+    const CpuModel &model = xeonE2288G();
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        Core core(model, seed++);
+        benchmark::DoNotOptimize(core.cycle());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreConstruct);
+
+void
+BM_CoreReset(benchmark::State &state)
+{
+    const CpuModel &model = xeonE2288G();
+    Core core(model, 1);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        core.reset(model, seed++);
+        benchmark::DoNotOptimize(core.cycle());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreReset);
 
 void
 BM_ChannelBit(benchmark::State &state)
@@ -124,4 +319,28 @@ BENCHMARK(BM_RunExperimentTrial);
 } // namespace
 } // namespace lf
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            continue; // strip: google-benchmark rejects unknown flags
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+
+    const int throughput_rc = lf::emitRunnerThroughput(smoke);
+    if (smoke)
+        return throughput_rc;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return throughput_rc;
+}

@@ -13,6 +13,7 @@
 #include "core/mt_channels.hh"
 #include "core/nonmt_channels.hh"
 #include "core/power_channels.hh"
+#include "core/trial_context.hh"
 #include "noise/environment.hh"
 #include "sim/cpu_model.hh"
 
@@ -45,47 +46,47 @@ main()
     misalign.M = 8;
 
     {
-        Core core(xeonE2288G(), 1);
-        NonMtEvictionChannel ch(core, evict);
-        report(ch.transmit(msg));
+        TrialContext ctx(xeonE2288G(), 1);
+        NonMtEvictionChannel ch(ctx.core(), evict);
+        report(ch.transmit(msg, ctx));
     }
     {
-        Core core(xeonE2288G(), 2);
-        NonMtEvictionChannel ch(core, evict_stealthy);
-        report(ch.transmit(msg));
+        TrialContext ctx(xeonE2288G(), 2);
+        NonMtEvictionChannel ch(ctx.core(), evict_stealthy);
+        report(ch.transmit(msg, ctx));
     }
     {
-        Core core(xeonE2288G(), 3);
-        NonMtMisalignmentChannel ch(core, misalign);
-        report(ch.transmit(msg));
+        TrialContext ctx(xeonE2288G(), 3);
+        NonMtMisalignmentChannel ch(ctx.core(), misalign);
+        report(ch.transmit(msg, ctx));
     }
     {
-        Core core(gold6226(), 4);
+        TrialContext ctx(gold6226(), 4);
         ChannelConfig slow;
         slow.r = 16;
         slow.rounds = 20;
-        SlowSwitchChannel ch(core, slow);
-        report(ch.transmit(msg));
+        SlowSwitchChannel ch(ctx.core(), slow);
+        report(ch.transmit(msg, ctx));
     }
     {
-        Core core(gold6226(), 5);
-        MtEvictionChannel ch(core, evict);
-        report(ch.transmit(msg));
+        TrialContext ctx(gold6226(), 5);
+        MtEvictionChannel ch(ctx.core(), evict);
+        report(ch.transmit(msg, ctx));
     }
     {
-        Core core(gold6226(), 6);
-        MtMisalignmentChannel ch(core, misalign);
-        report(ch.transmit(msg));
+        TrialContext ctx(gold6226(), 6);
+        MtMisalignmentChannel ch(ctx.core(), misalign);
+        report(ch.transmit(msg, ctx));
     }
     {
-        Core core(gold6226(), 7);
+        TrialContext ctx(gold6226(), 7);
         PowerChannelConfig power_cfg;
         power_cfg.rounds = 15000;
-        PowerEvictionChannel ch(core, evict_stealthy, power_cfg);
+        PowerEvictionChannel ch(ctx.core(), evict_stealthy, power_cfg);
         Rng short_rng(8);
         const auto short_msg =
             makeMessage(MessagePattern::Alternating, 10, short_rng);
-        report(ch.transmit(short_msg, 6));
+        report(ch.transmit(short_msg, ctx, 6));
     }
     std::printf("\nNote the orderings: non-MT > MT >> power, and fast"
                 " > stealthy —\nthe shapes of Tables III-V of the"
@@ -102,18 +103,16 @@ main()
     noisy.corunner.intensity = 0.75;
     constexpr int kNoisyPreamble = 32;
     {
-        Core core(gold6226(), 17);
-        NonMtEvictionChannel ch(core, evict);
-        Environment env(noisy, 17);
-        report(ch.transmit(msg, env, kNoisyPreamble));
+        TrialContext ctx(gold6226(), 17, noisy);
+        NonMtEvictionChannel ch(ctx.core(), evict);
+        report(ch.transmit(msg, ctx, kNoisyPreamble));
     }
     {
-        Core core(gold6226(), 17);
+        TrialContext ctx(gold6226(), 17, noisy);
         ChannelConfig evict_voting = evict;
         evict_voting.repetition = 3;
-        NonMtEvictionChannel ch(core, evict_voting);
-        Environment env(noisy, 17);
-        report(ch.transmit(msg, env, kNoisyPreamble));
+        NonMtEvictionChannel ch(ctx.core(), evict_voting);
+        report(ch.transmit(msg, ctx, kNoisyPreamble));
     }
     return 0;
 }

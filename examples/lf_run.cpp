@@ -13,13 +13,19 @@
  *
  * Every run is deterministic in the spec alone: the thread count
  * changes wall time only, never the emitted bytes, and a --shard i/n
- * slice emits exactly the rows the full run would.
+ * slice emits exactly the rows the full run would. Results stream:
+ * JSON/CSV rows are written as trials complete (in spec order), the
+ * sweep summary folds incrementally, and --progress reports live off
+ * the same stream — so arbitrarily large sweeps run in bounded
+ * memory (use --quiet to also skip the buffered stdout table).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -75,7 +81,11 @@ usage(std::FILE *to)
         "  --json PATH         write per-trial results as JSON\n"
         "  --csv PATH          write per-trial results as CSV\n"
         "  --summary PATH      write the per-cell sweep summary table\n"
-        "  --quiet             suppress stdout tables\n"
+        "  --progress          live progress line on stderr\n"
+        "                      (completed/total, trials/sec, ETA);\n"
+        "                      results stream as trials complete\n"
+        "  --quiet             suppress stdout tables (and"
+        " --progress)\n"
         "  --help              this message\n");
 }
 
@@ -95,6 +105,7 @@ main(int argc, char **argv)
     std::string csv_path;
     std::string summary_path;
     bool quiet = false;
+    bool progress = false;
 
     auto need_value = [&](int i) -> std::string {
         if (i + 1 >= argc) {
@@ -174,6 +185,8 @@ main(int argc, char **argv)
             csv_path = need_value(i++);
         } else if (arg == "--summary") {
             summary_path = need_value(i++);
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -212,29 +225,124 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Everything downstream is a streaming consumer: file sinks write
+    // rows as the runner delivers them (spec order, so the bytes are
+    // identical at any --threads value), the sweep summary folds into
+    // O(cells) accumulator state, and --progress reports off the same
+    // callback — memory stays bounded however large the grid is.
     const ExperimentRunner runner(threads);
-    const auto results = runSweep(sweep, runner, shard);
+    const std::vector<ExperimentSpec> batch = expandSweep(sweep, shard);
 
-    // The summary aggregates the whole batch; render it once and
-    // reuse the bytes for both stdout and --summary.
-    const bool sweeping = !sweep.axes.empty() || sweep.trials > 1;
-    std::string summary_text;
-    if ((!quiet && sweeping) || !summary_path.empty()) {
-        summary_text =
-            SweepSummarySink("lf_run sweep summary").render(results);
-    }
-    if (!quiet) {
-        TextTableSink text("lf_run results");
-        std::cout << text.render(results);
-        if (sweeping)
-            std::cout << "\n" << summary_text;
-    }
+    std::ofstream json_os;
+    JsonSink json_sink("lf_run");
     if (!json_path.empty()) {
-        JsonSink("lf_run").writeFile(results, json_path);
+        json_os.open(json_path);
+        if (!json_os) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        json_sink.writeHeader(json_os);
+    }
+    std::ofstream csv_os;
+    CsvSink csv_sink;
+    if (!csv_path.empty()) {
+        csv_os.open(csv_path);
+        if (!csv_os) {
+            std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+            return 1;
+        }
+        csv_sink.writeHeader(csv_os);
+    }
+
+    const bool sweeping = !sweep.axes.empty() || sweep.trials > 1;
+    const bool want_summary = (!quiet && sweeping) ||
+        !summary_path.empty();
+    SweepSummarySink summary_sink("lf_run sweep summary");
+    std::ostringstream summary_os;
+    if (want_summary)
+        summary_sink.writeHeader(summary_os);
+
+    TextTableSink text("lf_run results");
+    std::ostringstream text_os;
+    if (!quiet)
+        text.writeHeader(text_os);
+
+    const bool show_progress = progress && !quiet;
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    Clock::time_point last_update = start;
+    std::size_t done = 0;
+    std::size_t failures = 0;
+    std::string first_error;
+
+    runner.run(batch, [&](const ExperimentResult &res) {
+        ++done;
+        if (!res.ok && !res.skipped) {
+            ++failures;
+            if (first_error.empty())
+                first_error = res.error;
+        }
+        if (!json_path.empty())
+            json_sink.writeRow(res, json_os);
+        if (!csv_path.empty())
+            csv_sink.writeRow(res, csv_os);
+        if (want_summary)
+            summary_sink.writeRow(res, summary_os);
+        if (!quiet)
+            text.writeRow(res, text_os);
+        if (show_progress) {
+            const Clock::time_point now = Clock::now();
+            const double since_update =
+                std::chrono::duration<double>(now - last_update)
+                    .count();
+            if (since_update >= 0.1 || done == batch.size()) {
+                last_update = now;
+                const double elapsed =
+                    std::chrono::duration<double>(now - start).count();
+                const double rate =
+                    elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                  : 0.0;
+                const double eta = rate > 0.0
+                    ? static_cast<double>(batch.size() - done) / rate
+                    : 0.0;
+                std::fprintf(stderr,
+                             "\r[lf_run] %zu/%zu trials  %.1f"
+                             " trials/s  ETA %.0fs ",
+                             done, batch.size(), rate, eta);
+                std::fflush(stderr);
+            }
+        }
+    });
+    if (show_progress && done > 0)
+        std::fprintf(stderr, "\n");
+
+    if (!quiet) {
+        text.writeFooter(text_os);
+        std::cout << text_os.str();
+    }
+    std::string summary_text;
+    if (want_summary) {
+        summary_sink.writeFooter(summary_os);
+        summary_text = summary_os.str();
+    }
+    if (!quiet && sweeping)
+        std::cout << "\n" << summary_text;
+    if (!json_path.empty()) {
+        json_sink.writeFooter(json_os);
+        if (!json_os.good()) {
+            std::fprintf(stderr, "write to %s failed\n",
+                         json_path.c_str());
+            return 1;
+        }
         std::fprintf(stderr, "wrote %s\n", json_path.c_str());
     }
     if (!csv_path.empty()) {
-        CsvSink().writeFile(results, csv_path);
+        csv_sink.writeFooter(csv_os);
+        if (!csv_os.good()) {
+            std::fprintf(stderr, "write to %s failed\n",
+                         csv_path.c_str());
+            return 1;
+        }
         std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
     }
     if (!summary_path.empty()) {
@@ -248,12 +356,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "wrote %s\n", summary_path.c_str());
     }
 
-    for (const ExperimentResult &res : results) {
-        if (!res.ok && !res.skipped) {
-            std::fprintf(stderr, "trial failed: %s\n",
-                         res.error.c_str());
-            return 1;
-        }
+    if (failures > 0) {
+        std::fprintf(stderr, "trial failed: %s\n", first_error.c_str());
+        return 1;
     }
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "common/message.hh"
 #include "core/nonmt_channels.hh"
+#include "core/trial_context.hh"
 #include "isa/mix_block.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
@@ -52,12 +53,12 @@ main()
     //    paper (non-MT fast eviction, Table III).
     std::printf("\nTransmitting \"HI!\" over the non-MT eviction"
                 " channel...\n");
-    Core channel_core(xeonE2288G());
+    TrialContext ctx(xeonE2288G());
     ChannelConfig cfg;
     cfg.d = 6;
-    NonMtEvictionChannel channel(channel_core, cfg);
+    NonMtEvictionChannel channel(ctx.core(), cfg);
     const auto message = textToBits("HI!");
-    const ChannelResult result = channel.transmit(message);
+    const ChannelResult result = channel.transmit(message, ctx);
     std::printf("  received: \"%s\"\n",
                 bitsToText(result.received).c_str());
     std::printf("  rate: %.1f Kbps, error rate: %.2f%%\n",

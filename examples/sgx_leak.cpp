@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/message.hh"
+#include "core/trial_context.hh"
 #include "sgx/sgx_channels.hh"
 #include "sim/cpu_model.hh"
 
@@ -23,18 +24,18 @@ main()
     std::printf("Enclave holds the secret: \"%s\" (%zu bits)\n",
                 secret.c_str(), bits.size());
 
-    Core core(xeonE2174G(), 7);
+    TrialContext ctx(xeonE2174G(), 7);
     ChannelConfig cfg;
     cfg.d = 6;
     SgxConfig sgx;
     sgx.rounds = 4000;
-    SgxNonMtEvictionChannel channel(core, cfg, sgx);
+    SgxNonMtEvictionChannel channel(ctx.core(), cfg, sgx);
 
     std::printf("Receiver times one enclave entry/exit per bit "
                 "(entry cost ~%llu cycles, jittery)...\n\n",
                 static_cast<unsigned long long>(
-                    core.model().sgx.entryCycles));
-    const ChannelResult res = channel.transmit(bits);
+                    ctx.model().sgx.entryCycles));
+    const ChannelResult res = channel.transmit(bits, ctx);
 
     std::printf("Recovered: \"%s\"\n", bitsToText(res.received).c_str());
     std::printf("Rate: %.2f Kbps (paper Table VI: ~19-35 Kbps), "

@@ -19,11 +19,12 @@ echo "== ASan/UBSan: registry + run-subsystem tests =="
 cmake -B build-asan -S . -DLF_ASAN=ON
 cmake --build build-asan -j "${JOBS}" \
     --target lf_core_test_channel_registry lf_run_test_runner \
-             lf_run_test_sweep lf_run_test_cli \
+             lf_run_test_streaming lf_run_test_sweep lf_run_test_cli \
              lf_noise_test_environment lf_defense_test_defense \
              lf_run table_defenses
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
+./build-asan/lf_run_test_streaming
 ./build-asan/lf_run_test_sweep
 ./build-asan/lf_run_test_cli
 ./build-asan/lf_noise_test_environment
@@ -43,5 +44,17 @@ cmp build-asan/sweep-smoke.json build-asan/sweep-smoke-t1.json
 
 echo "== ASan/UBSan: defense-grid smoke test =="
 (cd build-asan && ./table_defenses --smoke > /dev/null)
+
+echo "== ASan/UBSan: runner-throughput smoke test =="
+# The target only exists when google-benchmark is installed (CMake
+# skips it otherwise); probe the configured target list so a real
+# compile error still fails the script.
+if cmake --build build-asan --target help 2>/dev/null |
+        grep -q "microbench_simulator"; then
+    cmake --build build-asan -j "${JOBS}" --target microbench_simulator
+    (cd build-asan && ./microbench_simulator --smoke > /dev/null)
+else
+    echo "libbenchmark not found: skipping"
+fi
 
 echo "== all checks passed =="

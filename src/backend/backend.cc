@@ -8,6 +8,14 @@ Backend::Backend(FrontendEngine *engine)
 }
 
 void
+Backend::reset()
+{
+    issueWidth_ = engine_->params().issueWidth;
+    lastRetire_.fill(0);
+    rrStart_ = 0;
+}
+
+void
 Backend::tick()
 {
     int budget = issueWidth_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include "common/edit_distance.hh"
 #include "common/logging.hh"
+#include "core/trial_context.hh"
 #include "defense/defense.hh"
 #include "noise/environment.hh"
 
@@ -30,25 +31,15 @@ CovertChannel::chargeMeasurementOverhead()
 
 ChannelResult
 CovertChannel::transmit(const std::vector<bool> &message,
-                        int preamble_bits)
+                        TrialContext &ctx, int preamble_bits)
 {
-    return transmit(message, Environment::quietEnvironment(),
-                    preamble_bits);
-}
-
-ChannelResult
-CovertChannel::transmit(const std::vector<bool> &message,
-                        Environment &env, int preamble_bits)
-{
-    return transmit(message, env, Defense::noDefense(),
-                    preamble_bits);
-}
-
-ChannelResult
-CovertChannel::transmit(const std::vector<bool> &message,
-                        Environment &env, Defense &defense,
-                        int preamble_bits)
-{
+    lf_assert(&ctx.core() == &core_,
+              "channel %s is bound to a different Core than the"
+              " TrialContext it is transmitting in", name().c_str());
+    Environment &env = ctx.environment();
+    Defense &defense = ctx.defense();
+    if (preamble_bits < 0)
+        preamble_bits = ctx.preambleBits();
     if (preamble_bits < 0)
         preamble_bits = cfg_.preambleBits;
     if (preamble_bits < 2)

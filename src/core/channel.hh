@@ -28,8 +28,7 @@
 
 namespace lf {
 
-class Defense;
-class Environment;
+class TrialContext;
 
 /** Parameters shared by the channel implementations (Sec. V names). */
 struct ChannelConfig
@@ -123,38 +122,26 @@ class CovertChannel
     virtual void setup() {}
 
     /**
-     * Calibrate on an alternating preamble, then transmit @p message
-     * on a quiet machine (no environment interference).
-     * @param preamble_bits Calibration bits; < 0 means use
-     *                      ChannelConfig::preambleBits.
+     * The one transmit path: calibrate on an alternating preamble,
+     * then transmit @p message inside @p ctx — the TrialContext whose
+     * core() this channel is bound to. The context's Defense
+     * reconfigures the core once (Defense::arm()) and acts at every
+     * slot start (beginSlot(): DSB flush quanta, index re-salting);
+     * each raw observable is padded by the defense
+     * (filterTiming()/filterPower(), machine-side mitigation) and
+     * *then* degraded by the Environment (perturbTiming()/
+     * perturbPower(), measurement-side interference) — the observable
+     * pipeline order is defense filter -> env perturbation. A quiet
+     * Environment and an inactive Defense make every hook an exact
+     * no-op. When ChannelConfig::repetition > 1 each message bit is
+     * sent that many times and majority-decoded.
+     *
+     * @param preamble_bits Calibration bits; < 0 falls back to the
+     *        context's preambleBits(), then to
+     *        ChannelConfig::preambleBits.
      */
     ChannelResult transmit(const std::vector<bool> &message,
-                           int preamble_bits = -1);
-
-    /**
-     * Same, under @p env: every transmission slot (warmup, preamble,
-     * and message bits alike) is preceded by Environment::beginSlot()
-     * and its raw observable degraded by perturbTiming()/
-     * perturbPower(). A quiet Environment reproduces the plain
-     * overload bit for bit. When ChannelConfig::repetition > 1 each
-     * message bit is sent that many times and majority-decoded.
-     */
-    ChannelResult transmit(const std::vector<bool> &message,
-                           Environment &env, int preamble_bits = -1);
-
-    /**
-     * Same, on a machine deploying @p defense (src/defense) under
-     * @p env: the defense reconfigures the core once
-     * (Defense::arm()), acts at every slot start (beginSlot(): DSB
-     * flush quanta, index re-salting), and pads the raw observable
-     * (filterTiming()/filterPower()) before the environment's
-     * degradation — mitigations are machine-side, interference is
-     * measurement-side. An inactive Defense reproduces the
-     * environment overload bit for bit.
-     */
-    ChannelResult transmit(const std::vector<bool> &message,
-                           Environment &env, Defense &defense,
-                           int preamble_bits = -1);
+                           TrialContext &ctx, int preamble_bits = -1);
 
     Core &core() { return core_; }
     const ChannelConfig &config() const { return cfg_; }

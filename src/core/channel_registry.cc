@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "core/mt_channels.hh"
 #include "core/nonmt_channels.hh"
+#include "core/trial_context.hh"
 
 namespace lf {
 
@@ -301,6 +302,12 @@ makeChannel(const std::string &name, Core &core,
             const ChannelConfig &cfg, const ChannelExtras &extras)
 {
     return ChannelRegistry::instance().make(name, core, cfg, extras);
+}
+
+std::unique_ptr<CovertChannel>
+makeChannel(const std::string &name, TrialContext &ctx)
+{
+    return makeChannel(name, ctx.core(), ctx.config(), ctx.extras());
 }
 
 std::unique_ptr<CovertChannel>

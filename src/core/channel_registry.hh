@@ -115,6 +115,14 @@ std::unique_ptr<CovertChannel> makeChannel(const std::string &name,
 std::unique_ptr<CovertChannel> makeChannelWithDefaults(
     const std::string &name, Core &core);
 
+class TrialContext;
+
+/** Construct @p name bound to @p ctx's core, with the context's
+ *  resolved config and extras — the one-call path from a bound
+ *  TrialContext (resolveTrial()) to a transmit-ready channel. */
+std::unique_ptr<CovertChannel> makeChannel(const std::string &name,
+                                           TrialContext &ctx);
+
 /** Whether @p name can run on @p model (SMT / SGX constraints). */
 bool channelSupportedOn(const std::string &name, const CpuModel &model);
 /// @}

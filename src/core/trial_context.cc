@@ -1,0 +1,65 @@
+#include "core/trial_context.hh"
+
+#include "common/logging.hh"
+
+namespace lf {
+
+std::uint64_t
+deriveTrialRngSeed(std::uint64_t trial_seed)
+{
+    return splitmix64(trial_seed ^ 0x7472'6961'6c2d'726eULL);
+}
+
+TrialContext::TrialContext(const CpuModel &model, std::uint64_t seed,
+                           const EnvironmentSpec &env,
+                           const DefenseSpec &defense)
+{
+    bind(model, seed, ChannelConfig{}, ChannelExtras{}, env, defense);
+}
+
+void
+TrialContext::bind(const CpuModel &model, std::uint64_t seed,
+                   const ChannelConfig &config,
+                   const ChannelExtras &extras,
+                   const EnvironmentSpec &env,
+                   const DefenseSpec &defense, int preamble_bits)
+{
+    // Tear the previous trial's defense down first: its destructor
+    // uninstalls the domain-switch hook from the core we are about to
+    // reset.
+    defense_.reset();
+
+    model_ = model;
+    applyDefenseToModel(model_, defense);
+    seed_ = seed;
+    config_ = config;
+    extras_ = extras;
+    preambleBits_ = preamble_bits;
+
+    if (core_)
+        core_->reset(model_, seed);
+    else
+        core_ = std::make_unique<Core>(model_, seed);
+
+    env_ = Environment(env, seed);
+    defense_.emplace(defense, seed);
+    rng_ = Rng(deriveTrialRngSeed(seed));
+}
+
+Core &
+TrialContext::core()
+{
+    lf_assert(core_ != nullptr,
+              "TrialContext used before bind()/resolveTrial()");
+    return *core_;
+}
+
+Defense &
+TrialContext::defense()
+{
+    lf_assert(defense_.has_value(),
+              "TrialContext used before bind()/resolveTrial()");
+    return *defense_;
+}
+
+} // namespace lf

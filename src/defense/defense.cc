@@ -211,11 +211,4 @@ Defense::filterRate(double rate)
     return rate - spec_.smoothing.strength * (rate - worstRate_);
 }
 
-Defense &
-Defense::noDefense()
-{
-    static Defense none;
-    return none;
-}
-
 } // namespace lf

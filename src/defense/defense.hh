@@ -240,11 +240,6 @@ class Defense
      *  the running minimum, and smoothing pads down toward it. */
     double filterRate(double rate);
 
-    /** Process-wide shared inactive instance (the no-op default used
-     *  by the legacy transmit() overloads). Its hooks never mutate
-     *  it, so sharing across threads is safe. */
-    static Defense &noDefense();
-
   private:
     double padObservable(double value);
     void onDomainSwitch(Core &core);

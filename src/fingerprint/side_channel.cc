@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "core/trial_context.hh"
 #include "isa/mix_block.hh"
 #include "sim/core.hh"
 #include "sim/executor.hh"
@@ -71,10 +72,12 @@ attackerIpcTrace(const CpuModel &model, const VictimWorkload &victim,
     lf_assert(model.smtEnabled,
               "the IPC side channel needs SMT (disabled on %s)",
               model.name.c_str());
-    CpuModel defended_model = model;
-    applyDefenseToModel(defended_model, defense_spec);
-    Core core(defended_model, seed);
-    Defense defense(defense_spec, seed);
+    // One trial = one TrialContext: the context folds the defense's
+    // model-level mitigations into its model copy and owns the
+    // armed-core teardown.
+    TrialContext ctx(model, seed, EnvironmentSpec{}, defense_spec);
+    Core &core = ctx.core();
+    Defense &defense = ctx.defense();
     defense.arm(core);
     Rng rng(seed ^ 0xf17e5);
 

@@ -68,6 +68,14 @@ class FrontendEngine
     void tick();
 
     /**
+     * Reinitialize to the pristine post-construction state for
+     * @p params, reusing the cache/IDQ storage where possible so a
+     * per-trial reset (Core::reset()) avoids the construction
+     * allocations. Bit-identical to a freshly constructed engine.
+     */
+    void reset(const FrontendParams &params);
+
+    /**
      * Backend interface: pop at most @p max_uops micro-ops from the
      * thread's IDQ. @p insts_retired is incremented for every
      * end-of-instruction marker popped.

@@ -229,11 +229,4 @@ Environment::perturbPower(double microjoules)
     return out < 0.0 ? 0.0 : out;
 }
 
-Environment &
-Environment::quietEnvironment()
-{
-    static Environment quiet;
-    return quiet;
-}
-
 } // namespace lf

@@ -195,11 +195,6 @@ class Environment
      *  energy, thermal drift, meter noise. */
     double perturbPower(double microjoules);
 
-    /** Process-wide shared quiet instance (the no-op default used by
-     *  the legacy transmit() overload). Its hooks never mutate it, so
-     *  sharing across threads is safe. */
-    static Environment &quietEnvironment();
-
   private:
     EnvironmentSpec spec_;
     bool quiet_ = true;

@@ -38,20 +38,28 @@ specMessage(const ExperimentSpec &spec)
     return makeMessage(spec.pattern, spec.messageBits, rng);
 }
 
+namespace {
+
+/** @name Per-facet resolvers
+ *  The four facets of a spec (channel config, CPU model, environment,
+ *  defense), each resolved from its own key-prefix slice of the
+ *  override map. Internal: resolveTrial() is the public entry point
+ *  that applies all four and binds a TrialContext. */
+/// @{
 std::string
-resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
-                  ChannelExtras &extras)
+resolveConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
+              ChannelExtras &extras)
 {
     const ChannelInfo &info = channelInfo(spec.channel);
     cfg = info.defaultConfig;
     extras = info.defaultExtras;
     for (const auto &[key, value] : spec.overrides) {
         if (isModelOverrideKey(key))
-            continue; // resolveSpecModel()'s job.
+            continue; // resolveModel()'s job.
         if (isEnvOverrideKey(key))
-            continue; // resolveSpecEnvironment()'s job.
+            continue; // resolveEnvironment()'s job.
         if (isDefenseOverrideKey(key))
-            continue; // resolveSpecDefense()'s job.
+            continue; // resolveDefense()'s job.
         if (!applyChannelOverride(cfg, extras, key, value)) {
             return "unknown config override \"" + key +
                 "\" for channel " + spec.channel;
@@ -109,7 +117,7 @@ resolveSpecConfig(const ExperimentSpec &spec, ChannelConfig &cfg,
 }
 
 std::string
-resolveSpecModel(const ExperimentSpec &spec, CpuModel &model)
+resolveModel(const ExperimentSpec &spec, CpuModel &model)
 {
     const CpuModel *base = findCpuModel(spec.cpu);
     if (base == nullptr)
@@ -132,6 +140,8 @@ resolveSpecModel(const ExperimentSpec &spec, CpuModel &model)
     }
     if (model.noise.spikeProb < 0.0 || model.noise.spikeProb > 1.0)
         return "model.spikeProb must be in [0, 1]";
+    if (model.deadlockKcycles < 1)
+        return "model.deadlock_kcycles must be >= 1";
     if (!(model.rapl.updateIntervalUs > 0.0) ||
         !(model.rapl.quantumMicroJoules > 0.0)) {
         return "RAPL interval and quantum must be > 0";
@@ -140,8 +150,7 @@ resolveSpecModel(const ExperimentSpec &spec, CpuModel &model)
 }
 
 std::string
-resolveSpecEnvironment(const ExperimentSpec &spec,
-                       EnvironmentSpec &env)
+resolveEnvironment(const ExperimentSpec &spec, EnvironmentSpec &env)
 {
     env = EnvironmentSpec{};
     for (const auto &[key, value] : spec.overrides) {
@@ -154,7 +163,7 @@ resolveSpecEnvironment(const ExperimentSpec &spec,
 }
 
 std::string
-resolveSpecDefense(const ExperimentSpec &spec, DefenseSpec &defense)
+resolveDefense(const ExperimentSpec &spec, DefenseSpec &defense)
 {
     defense = DefenseSpec{};
     for (const auto &[key, value] : spec.overrides) {
@@ -166,69 +175,91 @@ resolveSpecDefense(const ExperimentSpec &spec, DefenseSpec &defense)
     return validateDefenseSpec(defense);
 }
 
+/** Resolve all four facets without binding anything. */
 std::string
-validateSpec(const ExperimentSpec &spec)
+resolveFacets(const ExperimentSpec &spec, CpuModel &model,
+              ChannelConfig &cfg, ChannelExtras &extras,
+              EnvironmentSpec &env, DefenseSpec &defense)
 {
     if (!hasChannel(spec.channel))
         return "unknown channel \"" + spec.channel + "\"";
     if (spec.messageBits == 0)
         return "message must have at least one bit";
-    CpuModel model;
-    const std::string model_error = resolveSpecModel(spec, model);
+    const std::string model_error = resolveModel(spec, model);
     if (!model_error.empty())
         return model_error;
-    EnvironmentSpec env;
-    const std::string env_error = resolveSpecEnvironment(spec, env);
+    const std::string env_error = resolveEnvironment(spec, env);
     if (!env_error.empty())
         return env_error;
-    DefenseSpec defense;
-    const std::string defense_error =
-        resolveSpecDefense(spec, defense);
+    const std::string defense_error = resolveDefense(spec, defense);
     if (!defense_error.empty())
         return defense_error;
+    return resolveConfig(spec, cfg, extras);
+}
+/// @}
+
+} // namespace
+
+std::string
+validateSpec(const ExperimentSpec &spec)
+{
+    CpuModel model;
     ChannelConfig cfg;
     ChannelExtras extras;
-    return resolveSpecConfig(spec, cfg, extras);
+    EnvironmentSpec env;
+    DefenseSpec defense;
+    return resolveFacets(spec, model, cfg, extras, env, defense);
+}
+
+std::string
+resolveTrial(const ExperimentSpec &spec, TrialContext &ctx,
+             bool *skipped)
+{
+    if (skipped != nullptr)
+        *skipped = false;
+    CpuModel model;
+    ChannelConfig cfg;
+    ChannelExtras extras;
+    EnvironmentSpec env;
+    DefenseSpec defense;
+    const std::string error =
+        resolveFacets(spec, model, cfg, extras, env, defense);
+    if (!error.empty())
+        return error;
+    if (!channelSupportedOn(spec.channel, model)) {
+        if (skipped != nullptr)
+            *skipped = true;
+        return "channel " + spec.channel + " not supported on " +
+            spec.cpu;
+    }
+    // bind() folds the defense's model-level mitigations (RAPL
+    // coarsening) into the context's model copy before the Core is
+    // built/reset.
+    ctx.bind(model, spec.seed, cfg, extras, env, defense,
+             spec.preambleBits);
+    return "";
 }
 
 ExperimentResult
 runExperiment(const ExperimentSpec &spec)
 {
+    TrialContext ctx;
+    return runExperiment(spec, ctx);
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec, TrialContext &ctx)
+{
     ExperimentResult out;
     out.spec = spec;
 
-    out.error = validateSpec(spec);
+    out.error = resolveTrial(spec, ctx, &out.skipped);
     if (!out.error.empty())
         return out;
 
-    CpuModel cpu;
-    // Cannot fail: validateSpec() above already resolved this spec.
-    resolveSpecModel(spec, cpu);
-    if (!channelSupportedOn(spec.channel, cpu)) {
-        out.skipped = true;
-        out.error = "channel " + spec.channel +
-            " not supported on " + spec.cpu;
-        return out;
-    }
-
-    ChannelConfig cfg;
-    ChannelExtras extras;
-    resolveSpecConfig(spec, cfg, extras);
-    EnvironmentSpec env_spec;
-    resolveSpecEnvironment(spec, env_spec);
-    DefenseSpec defense_spec;
-    resolveSpecDefense(spec, defense_spec);
-    // Model-level mitigations (RAPL coarsening) bend the trial's
-    // private CPU-model copy before the Core is built.
-    applyDefenseToModel(cpu, defense_spec);
-
-    Core core(cpu, spec.seed);
-    auto channel = makeChannel(spec.channel, core, cfg, extras);
-    Environment env(env_spec, spec.seed);
-    Defense defense(defense_spec, spec.seed);
-    out.result = channel->transmit(specMessage(spec), env, defense,
-                                   spec.preambleBits);
-    out.extras = extras;
+    auto channel = makeChannel(spec.channel, ctx);
+    out.result = channel->transmit(specMessage(spec), ctx);
+    out.extras = ctx.extras();
     out.ok = true;
     return out;
 }

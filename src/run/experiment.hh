@@ -6,8 +6,12 @@
  * registry name), the CPU model (by Table I name), the RNG seed, the
  * message, and any config overrides — so that a batch of specs can be
  * executed by the ExperimentRunner on any number of worker threads
- * with bit-identical results: each trial constructs its own Core from
- * its own seed and shares no state with its siblings.
+ * with bit-identical results: every trial is a pure function of its
+ * spec. resolveTrial() is the one path from spec to a bound
+ * TrialContext (it subsumes the former per-facet resolveSpec*
+ * functions); whether the context's Core is freshly constructed or
+ * reset in place (the runner's per-worker reuse) never changes the
+ * result.
  */
 
 #ifndef LF_RUN_EXPERIMENT_HH
@@ -20,6 +24,7 @@
 
 #include "common/message.hh"
 #include "core/channel_registry.hh"
+#include "core/trial_context.hh"
 #include "defense/defense.hh"
 #include "noise/environment.hh"
 
@@ -95,52 +100,42 @@ std::vector<ExperimentSpec> expandTrials(const ExperimentSpec &spec,
 std::vector<bool> specMessage(const ExperimentSpec &spec);
 
 /**
- * Resolve @p spec's config: the channel's registry defaults with the
- * spec's overrides applied. The channel name must be registered.
+ * The one resolution path from spec to runnable trial: split the
+ * override map four ways by key prefix (plain keys -> ChannelConfig/
+ * extras, "model." -> a private copy of the named CPU model, "env."
+ * -> the EnvironmentSpec, "defense." -> the DefenseSpec), range-check
+ * everything, and bind @p ctx to the result (constructing — or, on a
+ * rebind, resetting in place — its Core, Environment, Defense, and
+ * trial RNG from the spec's seed).
+ *
+ * @param skipped When non-null, set to true (with ctx left unbound /
+ *        on its previous trial) if the channel does not apply to the
+ *        resolved model — e.g. an MT channel on the SMT-disabled
+ *        E-2288G. Not an error.
  * @return an error message ("" on success) — unknown override keys
  *         and unusable resolved values are reported, not fatal, so a
  *         bad spec in a parallel batch becomes an error row.
  */
-std::string resolveSpecConfig(const ExperimentSpec &spec,
-                              ChannelConfig &cfg,
-                              ChannelExtras &extras);
+std::string resolveTrial(const ExperimentSpec &spec, TrialContext &ctx,
+                         bool *skipped = nullptr);
 
 /**
- * Resolve @p spec's effective CPU model: the named model with the
- * spec's "model." overrides applied. The CPU name must be registered.
- * @return an error message ("" on success), same contract as
- *         resolveSpecConfig().
- */
-std::string resolveSpecModel(const ExperimentSpec &spec,
-                             CpuModel &model);
-
-/**
- * Resolve @p spec's environment: a default (quiet) EnvironmentSpec
- * with the spec's "env." overrides applied and range-checked.
- * @return an error message ("" on success), same contract as
- *         resolveSpecConfig().
- */
-std::string resolveSpecEnvironment(const ExperimentSpec &spec,
-                                   EnvironmentSpec &env);
-
-/**
- * Resolve @p spec's defense deployment: a default (inactive)
- * DefenseSpec with the spec's "defense." overrides applied and
- * range-checked. @return an error message ("" on success), same
- * contract as resolveSpecConfig().
- */
-std::string resolveSpecDefense(const ExperimentSpec &spec,
-                               DefenseSpec &defense);
-
-/**
- * Validate names and config resolution; returns an error message or
- * the empty string. (Support constraints like SMT are reported via
- * ExperimentResult::skipped, not here.)
+ * Validate names and config resolution without binding a context;
+ * returns an error message or the empty string. (Support constraints
+ * like SMT are reported via ExperimentResult::skipped, not here.)
  */
 std::string validateSpec(const ExperimentSpec &spec);
 
 /** Run one trial synchronously on the calling thread. */
 ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Same, (re)binding @p ctx instead of constructing a fresh context —
+ * the core-reuse path the streaming runner gives each worker.
+ * Bit-identical to the fresh-context overload.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec,
+                               TrialContext &ctx);
 
 } // namespace lf
 

@@ -1,12 +1,37 @@
 #include "run/runner.hh"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hh"
 
 namespace lf {
+
+namespace {
+
+/** One trial, exception-safe: anything thrown becomes an error row so
+ *  a bad spec never kills a worker. */
+ExperimentResult
+runOne(const ExperimentSpec &spec, TrialContext *ctx)
+{
+    try {
+        return ctx != nullptr ? runExperiment(spec, *ctx)
+                              : runExperiment(spec);
+    } catch (const std::exception &e) {
+        ExperimentResult out;
+        out.spec = spec;
+        out.ok = false;
+        out.error = e.what();
+        return out;
+    }
+}
+
+} // namespace
 
 ExperimentRunner::ExperimentRunner(int threads) : threads_(threads)
 {
@@ -16,44 +41,120 @@ ExperimentRunner::ExperimentRunner(int threads) : threads_(threads)
     }
 }
 
-std::vector<ExperimentResult>
-ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
+void
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
+                      const ResultCallback &on_result,
+                      StreamOrder order) const
 {
-    std::vector<ExperimentResult> results(specs.size());
+    lf_assert(on_result != nullptr, "streaming run needs a callback");
     if (specs.empty())
-        return results;
+        return;
 
     const int workers = static_cast<int>(
         std::min<std::size_t>(specs.size(),
                               static_cast<std::size_t>(threads_)));
 
+    if (workers <= 1) {
+        // Single-threaded: compute and deliver inline. Both stream
+        // orders coincide with spec order.
+        TrialContext ctx;
+        TrialContext *reuse = coreReuse_ ? &ctx : nullptr;
+        for (const ExperimentSpec &spec : specs)
+            on_result(runOne(spec, reuse));
+        return;
+    }
+
+    // Workers claim spec indices through an atomic counter and park
+    // finished results in `completed`; the calling thread is the only
+    // consumer, delivering either in spec order (holding back
+    // out-of-order finishers) or as they land. The reorder window
+    // bounds how far workers run ahead of delivery, so memory stays
+    // O(threads + window) however large the batch is.
+    const std::size_t window =
+        std::max<std::size_t>(64, static_cast<std::size_t>(workers) * 8);
+
+    std::mutex mutex;
+    std::condition_variable resultReady;
+    std::condition_variable windowSpace;
+    std::map<std::size_t, ExperimentResult> completed;
+    std::size_t delivered = 0;
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+
     auto work = [&]() {
+        TrialContext ctx;
+        TrialContext *reuse = coreReuse_ ? &ctx : nullptr;
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= specs.size())
                 return;
-            try {
-                results[i] = runExperiment(specs[i]);
-            } catch (const std::exception &e) {
-                results[i].spec = specs[i];
-                results[i].ok = false;
-                results[i].error = e.what();
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                windowSpace.wait(lock, [&] {
+                    return i < delivered + window || cancelled.load();
+                });
             }
+            if (cancelled.load())
+                return;
+            ExperimentResult result = runOne(specs[i], reuse);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                completed.emplace(i, std::move(result));
+            }
+            resultReady.notify_one();
         }
     };
-
-    if (workers <= 1) {
-        work();
-        return results;
-    }
 
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int t = 0; t < workers; ++t)
         pool.emplace_back(work);
-    for (std::thread &thread : pool)
-        thread.join();
+
+    const auto shutdown = [&]() {
+        cancelled.store(true);
+        next.store(specs.size());
+        windowSpace.notify_all();
+        for (std::thread &thread : pool)
+            thread.join();
+    };
+
+    try {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (delivered < specs.size()) {
+            resultReady.wait(lock, [&] {
+                if (completed.empty())
+                    return false;
+                return order == StreamOrder::Completion ||
+                    completed.begin()->first == delivered;
+            });
+            while (!completed.empty() &&
+                   (order == StreamOrder::Completion ||
+                    completed.begin()->first == delivered)) {
+                auto node = completed.extract(completed.begin());
+                ++delivered;
+                windowSpace.notify_all();
+                lock.unlock();
+                on_result(node.mapped());
+                lock.lock();
+            }
+        }
+    } catch (...) {
+        shutdown();
+        throw;
+    }
+    shutdown();
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(specs.size());
+    run(specs,
+        [&results](const ExperimentResult &res) {
+            results.push_back(res);
+        },
+        StreamOrder::SpecOrder);
     return results;
 }
 

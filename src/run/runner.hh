@@ -1,22 +1,49 @@
 /**
  * @file
- * Parallel executor for batches of ExperimentSpecs.
+ * Streaming parallel executor for batches of ExperimentSpecs.
  *
- * Trials are embarrassingly parallel: each constructs its own Core
- * from its own seed, so the runner just fans the batch out across a
- * std::thread pool via an atomic work index. Results land at the index
- * of their spec, which together with per-trial seeding makes the
- * output bit-identical at any worker count.
+ * Trials are embarrassingly parallel: each is a pure function of its
+ * spec (seed included), so the runner fans a batch out across a
+ * std::thread pool via an atomic work index. Each worker keeps one
+ * TrialContext alive for its whole share of the batch and rebinds it
+ * per trial (Core::reset() instead of per-trial Core construction) —
+ * results are bit-identical to building everything afresh, without
+ * the construction cost.
+ *
+ * Results *stream*: run(specs, callback) delivers each result on the
+ * calling thread as it becomes available, so sinks can write rows and
+ * sweep accumulators can fold cells while later trials are still
+ * running — a million-trial sweep needs memory for the in-flight
+ * window, not the whole batch. With StreamOrder::SpecOrder (the
+ * default) delivery order is the spec order, making the stream — and
+ * anything written from it — bit-identical at any thread count; a
+ * bounded reorder window keeps workers from racing unboundedly ahead
+ * of a slow consumer. The batch run() overload is a thin wrapper that
+ * collects the stream into a vector.
  */
 
 #ifndef LF_RUN_RUNNER_HH
 #define LF_RUN_RUNNER_HH
 
+#include <functional>
 #include <vector>
 
 #include "run/experiment.hh"
 
 namespace lf {
+
+/** How a streaming run() hands results to the callback. */
+enum class StreamOrder
+{
+    /** Deliver in spec order: deterministic byte-for-byte output at
+     *  any thread count (completed out-of-order results wait in the
+     *  reorder window). */
+    SpecOrder,
+    /** Deliver each result as soon as it completes: lowest latency,
+     *  but the order depends on scheduling. The result *set* is
+     *  still bit-identical. */
+    Completion,
+};
 
 class ExperimentRunner
 {
@@ -28,8 +55,30 @@ class ExperimentRunner
     int threads() const { return threads_; }
 
     /**
-     * Run every spec and return results in spec order. Thread count
-     * affects wall time only, never the results.
+     * Per-worker Core reuse (default on): workers rebind one
+     * TrialContext per trial instead of constructing a fresh Core.
+     * Turning it off is only interesting for benchmarking the reuse
+     * win — results are bit-identical either way.
+     */
+    void setCoreReuse(bool on) { coreReuse_ = on; }
+    bool coreReuse() const { return coreReuse_; }
+
+    /** Invoked on the runner's calling thread, once per spec. */
+    using ResultCallback = std::function<void(const ExperimentResult &)>;
+
+    /**
+     * Run every spec, streaming results to @p on_result on the
+     * calling thread (the callback never needs to be thread-safe).
+     * An exception thrown by the callback stops the run (workers are
+     * drained and joined) and is rethrown.
+     */
+    void run(const std::vector<ExperimentSpec> &specs,
+             const ResultCallback &on_result,
+             StreamOrder order = StreamOrder::SpecOrder) const;
+
+    /**
+     * Batch form: run every spec and return results in spec order.
+     * Thread count affects wall time only, never the results.
      */
     std::vector<ExperimentResult>
     run(const std::vector<ExperimentSpec> &specs) const;
@@ -41,6 +90,7 @@ class ExperimentRunner
 
   private:
     int threads_;
+    bool coreReuse_ = true;
 };
 
 } // namespace lf

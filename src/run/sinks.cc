@@ -101,8 +101,30 @@ jsonString(const std::string &text)
 }
 
 void
+ResultSink::writeHeader(std::ostream &os)
+{
+    (void)os;
+}
+
+void
+ResultSink::writeFooter(std::ostream &os)
+{
+    (void)os;
+}
+
+void
+ResultSink::write(const std::vector<ExperimentResult> &results,
+                  std::ostream &os)
+{
+    writeHeader(os);
+    for (const ExperimentResult &res : results)
+        writeRow(res, os);
+    writeFooter(os);
+}
+
+void
 ResultSink::writeFile(const std::vector<ExperimentResult> &results,
-                      const std::string &path) const
+                      const std::string &path)
 {
     std::ofstream os(path);
     if (!os)
@@ -113,7 +135,7 @@ ResultSink::writeFile(const std::vector<ExperimentResult> &results,
 }
 
 std::string
-ResultSink::render(const std::vector<ExperimentResult> &results) const
+ResultSink::render(const std::vector<ExperimentResult> &results)
 {
     std::ostringstream os;
     write(results, os);
@@ -133,65 +155,80 @@ TextTableSink::annotatePaper(const std::string &label,
 }
 
 void
-TextTableSink::write(const std::vector<ExperimentResult> &results,
-                     std::ostream &os) const
+TextTableSink::writeHeader(std::ostream &os)
+{
+    (void)os;
+    rows_.clear();
+}
+
+void
+TextTableSink::writeRow(const ExperimentResult &res, std::ostream &os)
+{
+    (void)os; // Rendered in writeFooter(): alignment needs all rows.
+    const std::string label =
+        res.spec.label.empty() ? res.spec.channel : res.spec.label;
+    std::string rate;
+    std::string err;
+    std::string seconds;
+    if (res.ok) {
+        rate = formatKbps(res.result.transmissionKbps);
+        err = formatPercent(res.result.errorRate);
+        seconds = formatFixed(res.result.seconds, 6);
+    } else {
+        rate = err = seconds = "-";
+    }
+    const auto paper = paper_.find({label, res.spec.cpu});
+    if (paper != paper_.end()) {
+        rate += " (paper " + paper->second.rate + ")";
+        err += " (paper " + paper->second.error + ")";
+    }
+    rows_.push_back({label, res.spec.channel, res.spec.cpu,
+                     std::to_string(res.spec.trial), rate, err,
+                     seconds});
+}
+
+void
+TextTableSink::writeFooter(std::ostream &os)
 {
     TextTable table(title_);
     table.setHeader({"Label", "Channel", "CPU", "Trial",
                      "Tr. Rate (Kbps)", "Error Rate", "Sim s"});
-    for (const ExperimentResult &res : results) {
-        const std::string label =
-            res.spec.label.empty() ? res.spec.channel : res.spec.label;
-        std::string rate;
-        std::string err;
-        std::string seconds;
-        if (res.ok) {
-            rate = formatKbps(res.result.transmissionKbps);
-            err = formatPercent(res.result.errorRate);
-            seconds = formatFixed(res.result.seconds, 6);
-        } else {
-            rate = err = seconds = "-";
-        }
-        const auto paper = paper_.find({label, res.spec.cpu});
-        if (paper != paper_.end()) {
-            rate += " (paper " + paper->second.rate + ")";
-            err += " (paper " + paper->second.error + ")";
-        }
-        table.addRow({label, res.spec.channel, res.spec.cpu,
-                      std::to_string(res.spec.trial), rate, err,
-                      seconds});
-    }
+    for (std::vector<std::string> &row : rows_)
+        table.addRow(std::move(row));
+    rows_.clear();
     os << table.render();
 }
 
 void
-CsvSink::write(const std::vector<ExperimentResult> &results,
-               std::ostream &os) const
+CsvSink::writeHeader(std::ostream &os)
 {
     os << "label,channel,cpu,seed,trial,pattern,message_bits,"
           "preamble_bits,ok,skipped,error_rate,transmission_kbps,"
           "sim_seconds,error\n";
-    for (const ExperimentResult &res : results) {
-        os << csvEscape(res.spec.label) << ","
-           << csvEscape(res.spec.channel) << ","
-           << csvEscape(res.spec.cpu) << ","
-           << res.spec.seed << ","
-           << res.spec.trial << ","
-           << toString(res.spec.pattern) << ","
-           << res.spec.messageBits << ",";
-        if (res.ok)
-            os << res.result.preambleBits;
-        os << "," << (res.ok ? 1 : 0) << ","
-           << (res.skipped ? 1 : 0) << ",";
-        if (res.ok) {
-            os << jsonNumber(res.result.errorRate) << ","
-               << jsonNumber(res.result.transmissionKbps) << ","
-               << jsonNumber(res.result.seconds) << ",";
-        } else {
-            os << ",,,";
-        }
-        os << csvEscape(res.error) << "\n";
+}
+
+void
+CsvSink::writeRow(const ExperimentResult &res, std::ostream &os)
+{
+    os << csvEscape(res.spec.label) << ","
+       << csvEscape(res.spec.channel) << ","
+       << csvEscape(res.spec.cpu) << ","
+       << res.spec.seed << ","
+       << res.spec.trial << ","
+       << toString(res.spec.pattern) << ","
+       << res.spec.messageBits << ",";
+    if (res.ok)
+        os << res.result.preambleBits;
+    os << "," << (res.ok ? 1 : 0) << ","
+       << (res.skipped ? 1 : 0) << ",";
+    if (res.ok) {
+        os << jsonNumber(res.result.errorRate) << ","
+           << jsonNumber(res.result.transmissionKbps) << ","
+           << jsonNumber(res.result.seconds) << ",";
+    } else {
+        os << ",,,";
     }
+    os << csvEscape(res.error) << "\n";
 }
 
 JsonSink::JsonSink(std::string benchmark)
@@ -200,53 +237,69 @@ JsonSink::JsonSink(std::string benchmark)
 }
 
 void
-JsonSink::write(const std::vector<ExperimentResult> &results,
-                std::ostream &os) const
+JsonSink::writeHeader(std::ostream &os)
 {
+    rows_ = 0;
     os << "{\n"
        << "  \"benchmark\": " << jsonString(benchmark_) << ",\n"
        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const ExperimentResult &res = results[i];
-        os << "    {"
-           << "\"label\":" << jsonString(res.spec.label)
-           << ",\"channel\":" << jsonString(res.spec.channel)
-           << ",\"cpu\":" << jsonString(res.spec.cpu)
-           << ",\"seed\":" << res.spec.seed
-           << ",\"trial\":" << res.spec.trial
-           << ",\"pattern\":" << jsonString(toString(res.spec.pattern))
-           << ",\"message_bits\":" << res.spec.messageBits
-           << ",\"ok\":" << (res.ok ? "true" : "false")
-           << ",\"skipped\":" << (res.skipped ? "true" : "false");
-        if (!res.error.empty())
-            os << ",\"error\":" << jsonString(res.error);
-        if (res.ok) {
-            os << ",\"preamble_bits\":" << res.result.preambleBits
-               << ",\"error_rate\":" << jsonNumber(res.result.errorRate)
-               << ",\"transmission_kbps\":"
-               << jsonNumber(res.result.transmissionKbps)
-               << ",\"sim_seconds\":" << jsonNumber(res.result.seconds)
-               << ",\"mean_obs0\":" << jsonNumber(res.result.meanObs0)
-               << ",\"mean_obs1\":" << jsonNumber(res.result.meanObs1)
-               << ",\"sent\":"
-               << jsonString(toBitString(res.result.sent))
-               << ",\"received\":"
-               << jsonString(toBitString(res.result.received))
-               << ",\"config\":";
-            writeConfigJson(res.result.config, os);
-            os << ",\"extras\":";
-            writeExtrasJson(res.extras, os);
-            os << ",\"overrides\":{";
-            bool first = true;
-            for (const auto &[key, value] : res.spec.overrides) {
-                os << (first ? "" : ",") << jsonString(key) << ":"
-                   << jsonNumber(value);
-                first = false;
-            }
-            os << "}";
+}
+
+void
+JsonSink::writeRow(const ExperimentResult &res, std::ostream &os)
+{
+    // The previous row's line is only terminated here (with or
+    // without a separating comma) so the streamed bytes match the
+    // seed batch format exactly.
+    if (rows_ > 0)
+        os << ",\n";
+    ++rows_;
+    os << "    {"
+       << "\"label\":" << jsonString(res.spec.label)
+       << ",\"channel\":" << jsonString(res.spec.channel)
+       << ",\"cpu\":" << jsonString(res.spec.cpu)
+       << ",\"seed\":" << res.spec.seed
+       << ",\"trial\":" << res.spec.trial
+       << ",\"pattern\":" << jsonString(toString(res.spec.pattern))
+       << ",\"message_bits\":" << res.spec.messageBits
+       << ",\"ok\":" << (res.ok ? "true" : "false")
+       << ",\"skipped\":" << (res.skipped ? "true" : "false");
+    if (!res.error.empty())
+        os << ",\"error\":" << jsonString(res.error);
+    if (res.ok) {
+        os << ",\"preamble_bits\":" << res.result.preambleBits
+           << ",\"error_rate\":" << jsonNumber(res.result.errorRate)
+           << ",\"transmission_kbps\":"
+           << jsonNumber(res.result.transmissionKbps)
+           << ",\"sim_seconds\":" << jsonNumber(res.result.seconds)
+           << ",\"mean_obs0\":" << jsonNumber(res.result.meanObs0)
+           << ",\"mean_obs1\":" << jsonNumber(res.result.meanObs1)
+           << ",\"sent\":"
+           << jsonString(toBitString(res.result.sent))
+           << ",\"received\":"
+           << jsonString(toBitString(res.result.received))
+           << ",\"config\":";
+        writeConfigJson(res.result.config, os);
+        os << ",\"extras\":";
+        writeExtrasJson(res.extras, os);
+        os << ",\"overrides\":{";
+        bool first = true;
+        for (const auto &[key, value] : res.spec.overrides) {
+            os << (first ? "" : ",") << jsonString(key) << ":"
+               << jsonNumber(value);
+            first = false;
         }
-        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        os << "}";
     }
+    os << "}";
+}
+
+void
+JsonSink::writeFooter(std::ostream &os)
+{
+    if (rows_ > 0)
+        os << "\n";
+    rows_ = 0;
     os << "  ]\n}\n";
 }
 

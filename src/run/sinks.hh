@@ -1,6 +1,6 @@
 /**
  * @file
- * Pluggable result sinks for ExperimentRunner batches.
+ * Pluggable, streaming result sinks for ExperimentRunner output.
  *
  * Three emitters cover the three consumers of experiment output:
  *   TextTableSink — human-readable table, optionally annotated with
@@ -10,9 +10,16 @@
  *   JsonSink      — self-describing machine-readable rows (the
  *                   BENCH_*.json files the bench binaries emit).
  *
- * All sinks are deterministic functions of the result batch: output
- * is byte-identical regardless of the worker-thread count that
- * produced the results.
+ * Sinks stream: writeHeader() once, then writeRow() per result as the
+ * runner's callback delivers it, then writeFooter() — so CSV/JSON
+ * rows hit the stream while later trials are still running and a
+ * million-row sweep never buffers its results. (The text table is
+ * the exception: column alignment needs every row, so it accumulates
+ * rows internally and renders in writeFooter() — it is the
+ * eyeball-sized format.) The batch write() convenience is exactly
+ * header + rows + footer, so batch and streamed output are
+ * byte-identical; fed from a spec-order stream the bytes are also
+ * identical at any worker-thread count.
  */
 
 #ifndef LF_RUN_SINKS_HH
@@ -28,22 +35,32 @@
 
 namespace lf {
 
-/** Interface: serialize a result batch to a stream. */
+/** Interface: serialize a result stream (or batch) to a stream. */
 class ResultSink
 {
   public:
     virtual ~ResultSink() = default;
 
-    virtual void write(const std::vector<ExperimentResult> &results,
-                       std::ostream &os) const = 0;
+    /** @name Streaming interface
+     *  writeHeader() resets any per-run sink state, so one sink
+     *  object can serialize several runs. */
+    /// @{
+    virtual void writeHeader(std::ostream &os);
+    virtual void writeRow(const ExperimentResult &res,
+                          std::ostream &os) = 0;
+    virtual void writeFooter(std::ostream &os);
+    /// @}
+
+    /** Batch convenience: header, every row, footer. */
+    void write(const std::vector<ExperimentResult> &results,
+               std::ostream &os);
 
     /** write() to @p path; fatal on I/O failure. */
     void writeFile(const std::vector<ExperimentResult> &results,
-                   const std::string &path) const;
+                   const std::string &path);
 
     /** write() into a string (handy for tests and diffing). */
-    std::string render(
-        const std::vector<ExperimentResult> &results) const;
+    std::string render(const std::vector<ExperimentResult> &results);
 };
 
 /** The paper's published numbers for one table cell. */
@@ -53,6 +70,8 @@ struct PaperValues
     std::string error; //!< e.g. "6.48%".
 };
 
+/** Human-readable table. Buffers rows internally (column alignment
+ *  needs the full set) and renders in writeFooter(). */
 class TextTableSink : public ResultSink
 {
   public:
@@ -62,19 +81,23 @@ class TextTableSink : public ResultSink
     void annotatePaper(const std::string &label, const std::string &cpu,
                        PaperValues values);
 
-    void write(const std::vector<ExperimentResult> &results,
-               std::ostream &os) const override;
+    void writeHeader(std::ostream &os) override;
+    void writeRow(const ExperimentResult &res,
+                  std::ostream &os) override;
+    void writeFooter(std::ostream &os) override;
 
   private:
     std::string title_;
     std::map<std::pair<std::string, std::string>, PaperValues> paper_;
+    std::vector<std::vector<std::string>> rows_;
 };
 
 class CsvSink : public ResultSink
 {
   public:
-    void write(const std::vector<ExperimentResult> &results,
-               std::ostream &os) const override;
+    void writeHeader(std::ostream &os) override;
+    void writeRow(const ExperimentResult &res,
+                  std::ostream &os) override;
 };
 
 class JsonSink : public ResultSink
@@ -83,11 +106,14 @@ class JsonSink : public ResultSink
     /** @param benchmark Top-level "benchmark" field value. */
     explicit JsonSink(std::string benchmark = "experiment");
 
-    void write(const std::vector<ExperimentResult> &results,
-               std::ostream &os) const override;
+    void writeHeader(std::ostream &os) override;
+    void writeRow(const ExperimentResult &res,
+                  std::ostream &os) override;
+    void writeFooter(std::ostream &os) override;
 
   private:
     std::string benchmark_;
+    std::size_t rows_ = 0;
 };
 
 /** Canonical output file name for a bench: "BENCH_<name>.json". */

@@ -1,7 +1,6 @@
 #include "run/sweep.hh"
 
 #include <cstdio>
-#include <tuple>
 #include <utility>
 
 #include "common/logging.hh"
@@ -96,33 +95,30 @@ advance(const SweepSpec &spec, std::vector<std::size_t> &axis_pos)
     return false;
 }
 
-/** The per-cell identity of a result: its spec minus seed and trial
- *  index. */
-struct CellKey
+/** The per-cell identity of a result — its spec minus seed and trial
+ *  index — serialized into one unambiguous lookup key. Field
+ *  separators are control characters no label/channel name contains,
+ *  and override values render round-trip-exact (jsonNumber), so two
+ *  specs map to the same key iff they are the same cell. */
+std::string
+cellKeyOf(const ExperimentSpec &spec)
 {
-    std::string label;
-    std::string channel;
-    std::string cpu;
-    MessagePattern pattern;
-    std::size_t messageBits;
-    int preambleBits;
-    std::map<std::string, double> overrides;
-
-    bool operator<(const CellKey &other) const
-    {
-        return std::tie(label, channel, cpu, pattern, messageBits,
-                        preambleBits, overrides) <
-            std::tie(other.label, other.channel, other.cpu,
-                     other.pattern, other.messageBits,
-                     other.preambleBits, other.overrides);
+    std::string key;
+    const auto append = [&key](const std::string &part) {
+        key += part;
+        key += '\x1f';
+    };
+    append(spec.label);
+    append(spec.channel);
+    append(spec.cpu);
+    append(toString(spec.pattern));
+    append(std::to_string(spec.messageBits));
+    append(std::to_string(spec.preambleBits));
+    for (const auto &[name, value] : spec.overrides) {
+        append(name);
+        append(jsonNumber(value));
     }
-};
-
-CellKey
-keyOf(const ExperimentSpec &spec)
-{
-    return {spec.label, spec.channel, spec.cpu, spec.pattern,
-            spec.messageBits, spec.preambleBits, spec.overrides};
+    return key;
 }
 
 } // namespace
@@ -288,48 +284,58 @@ runSweep(const SweepSpec &spec, const ExperimentRunner &runner,
     return runner.run(expandSweep(spec, shard));
 }
 
+void
+SweepAccumulator::add(const ExperimentResult &res)
+{
+    // Cells are looked up by key but reported in first-seen order.
+    const auto [it, inserted] =
+        index_.try_emplace(cellKeyOf(res.spec), cells_.size());
+    if (inserted) {
+        SweepCellSummary cell;
+        cell.label = res.spec.label.empty() ? res.spec.channel
+                                            : res.spec.label;
+        cell.channel = res.spec.channel;
+        cell.cpu = res.spec.cpu;
+        cell.pattern = toString(res.spec.pattern);
+        cell.overrides = res.spec.overrides;
+        cells_.push_back(std::move(cell));
+    }
+    ++count_;
+    SweepCellSummary &cell = cells_[it->second];
+    ++cell.trials;
+    if (res.skipped) {
+        ++cell.skippedTrials;
+        return;
+    }
+    if (!res.ok) {
+        ++cell.failedTrials;
+        return;
+    }
+    ++cell.okTrials;
+    const double err = res.result.errorRate;
+    const double kbps = res.result.transmissionKbps;
+    cell.errorRate.add(err);
+    cell.transmissionKbps.add(kbps);
+    cell.seconds.add(res.result.seconds);
+    cell.effectiveKbps.add(kbps * (1.0 - err));
+    cell.capacityKbps.add(kbps * bscCapacity(err));
+}
+
+void
+SweepAccumulator::clear()
+{
+    index_.clear();
+    cells_.clear();
+    count_ = 0;
+}
+
 std::vector<SweepCellSummary>
 aggregateSweep(const std::vector<ExperimentResult> &results)
 {
-    // Cells are looked up by key but reported in first-seen order.
-    std::map<CellKey, std::size_t> index;
-    std::vector<SweepCellSummary> cells;
-    for (const ExperimentResult &res : results) {
-        CellKey key = keyOf(res.spec);
-        const auto [it, inserted] =
-            index.try_emplace(std::move(key), cells.size());
-        const std::size_t c = it->second;
-        if (inserted) {
-            const CellKey &stored = it->first;
-            SweepCellSummary cell;
-            cell.label =
-                stored.label.empty() ? stored.channel : stored.label;
-            cell.channel = stored.channel;
-            cell.cpu = stored.cpu;
-            cell.pattern = toString(stored.pattern);
-            cell.overrides = stored.overrides;
-            cells.push_back(std::move(cell));
-        }
-        SweepCellSummary &cell = cells[c];
-        ++cell.trials;
-        if (res.skipped) {
-            ++cell.skippedTrials;
-            continue;
-        }
-        if (!res.ok) {
-            ++cell.failedTrials;
-            continue;
-        }
-        ++cell.okTrials;
-        const double err = res.result.errorRate;
-        const double kbps = res.result.transmissionKbps;
-        cell.errorRate.add(err);
-        cell.transmissionKbps.add(kbps);
-        cell.seconds.add(res.result.seconds);
-        cell.effectiveKbps.add(kbps * (1.0 - err));
-        cell.capacityKbps.add(kbps * bscCapacity(err));
-    }
-    return cells;
+    SweepAccumulator accumulator;
+    for (const ExperimentResult &res : results)
+        accumulator.add(res);
+    return accumulator.cells();
 }
 
 SweepSummarySink::SweepSummarySink(std::string title)
@@ -338,14 +344,28 @@ SweepSummarySink::SweepSummarySink(std::string title)
 }
 
 void
-SweepSummarySink::write(const std::vector<ExperimentResult> &results,
-                        std::ostream &os) const
+SweepSummarySink::writeHeader(std::ostream &os)
+{
+    (void)os;
+    accumulator_.clear();
+}
+
+void
+SweepSummarySink::writeRow(const ExperimentResult &res,
+                           std::ostream &os)
+{
+    (void)os; // Rendered in writeFooter(); state is O(cells).
+    accumulator_.add(res);
+}
+
+void
+SweepSummarySink::writeFooter(std::ostream &os)
 {
     TextTable table(title_.empty() ? "Sweep summary" : title_);
     table.setHeader({"Label", "Channel", "CPU", "Pattern", "ok/n",
                      "Err mean", "Err sd", "Rate mean (Kbps)",
                      "Rate sd", "Eff. rate", "Capacity (Kbps)"});
-    for (const SweepCellSummary &cell : aggregateSweep(results)) {
+    for (const SweepCellSummary &cell : accumulator_.cells()) {
         std::string err_mean = "-";
         std::string err_sd = "-";
         std::string rate_mean = "-";

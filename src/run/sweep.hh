@@ -7,8 +7,9 @@
  * and expands it into one flat ExperimentSpec batch. The batch runs
  * through a single ExperimentRunner thread pool (no per-cell pool
  * churn), and per-cell statistics (mean/stddev error rate and rate,
- * effective rate, Shannon capacity estimate) are aggregated back out
- * of the flat results.
+ * effective rate, Shannon capacity estimate) fold incrementally out
+ * of the result stream (SweepAccumulator) — a grid's summary costs
+ * O(cells) memory however many trials run.
  *
  * Determinism rules, which make sweeps resumable and shardable:
  *  - expansion order is a pure function of the spec (channel-major,
@@ -139,10 +140,44 @@ struct SweepCellSummary
 };
 
 /**
- * Group a result batch by cell — everything in the spec except seed
- * and trial index — preserving first-seen order, and accumulate the
- * per-cell statistics. Works on any ExperimentResult batch, sharded
- * or not.
+ * Incremental per-cell aggregation: add() folds one result into its
+ * cell's statistics as the streaming runner delivers it, so a sweep
+ * summary costs O(cells) memory however many trials stream through —
+ * no full-batch buffering. Cells are keyed by everything in the spec
+ * except seed and trial index, and reported in first-seen order;
+ * feeding a whole batch in order reproduces aggregateSweep() exactly.
+ */
+class SweepAccumulator
+{
+  public:
+    /** Fold one result into its cell (creating the cell on first
+     *  sight). */
+    void add(const ExperimentResult &res);
+
+    /** Per-cell statistics so far, in first-seen order. */
+    const std::vector<SweepCellSummary> &cells() const
+    {
+        return cells_;
+    }
+
+    /** Results folded in so far. */
+    std::size_t resultCount() const { return count_; }
+
+    /** Forget everything. */
+    void clear();
+
+  private:
+    /** Serialized cell identity -> index into cells_. */
+    std::map<std::string, std::size_t> index_;
+    std::vector<SweepCellSummary> cells_;
+    std::size_t count_ = 0;
+};
+
+/**
+ * Batch convenience over SweepAccumulator: group a result batch by
+ * cell — everything in the spec except seed and trial index —
+ * preserving first-seen order, and accumulate the per-cell
+ * statistics. Works on any ExperimentResult batch, sharded or not.
  */
 std::vector<SweepCellSummary>
 aggregateSweep(const std::vector<ExperimentResult> &results);
@@ -150,18 +185,23 @@ aggregateSweep(const std::vector<ExperimentResult> &results);
 /**
  * Sink rendering the aggregated per-cell statistics as a text table:
  * one row per cell with trial counts, mean/stddev error and rate,
- * effective rate and capacity estimate.
+ * effective rate and capacity estimate. Streams into a
+ * SweepAccumulator (O(cells) state); the table renders in
+ * writeFooter().
  */
 class SweepSummarySink : public ResultSink
 {
   public:
     explicit SweepSummarySink(std::string title = "");
 
-    void write(const std::vector<ExperimentResult> &results,
-               std::ostream &os) const override;
+    void writeHeader(std::ostream &os) override;
+    void writeRow(const ExperimentResult &res,
+                  std::ostream &os) override;
+    void writeFooter(std::ostream &os) override;
 
   private:
     std::string title_;
+    SweepAccumulator accumulator_;
 };
 
 } // namespace lf

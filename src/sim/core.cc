@@ -14,6 +14,24 @@ Core::Core(const CpuModel &model, std::uint64_t seed)
 }
 
 void
+Core::reset(const CpuModel &model, std::uint64_t seed)
+{
+    model_ = model;
+    seed_ = seed;
+    staticPartition_ = false;
+    domainSwitchHook_ = nullptr;
+    engine_.reset(model.frontend);
+    backend_.reset();
+    rng_ = Rng(seed ^ 0x5eedc0de12345678ULL);
+    energyModel_ = EnergyModel(model.energy, model.freqGhz);
+    rapl_ = RaplCounter(model.rapl, model.freqGhz,
+                        Rng(seed ^ 0x4a91ULL));
+    for (auto &snapshot : raplSnapshot_)
+        snapshot = PerfCounters{};
+    raplSyncCycle_ = 0;
+}
+
+void
 Core::refreshPartitionState()
 {
     const bool both = engine_.threadHasProgram(0) &&
@@ -69,6 +87,8 @@ Cycles
 Core::runUntilRetired(ThreadId tid, std::uint64_t insts,
                       Cycles max_cycles)
 {
+    if (max_cycles == 0)
+        max_cycles = model_.deadlockKcycles * 1000;
     const std::uint64_t target =
         engine_.counters(tid).retiredInsts + insts;
     const Cycles start = cycle();

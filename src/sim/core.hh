@@ -33,6 +33,17 @@ class Core
   public:
     explicit Core(const CpuModel &model, std::uint64_t seed = 1);
 
+    /**
+     * Reinitialize in place to exactly the state of a freshly
+     * constructed Core(model, seed), reusing the cache-line/IDQ
+     * allocations of the previous trial. This is the per-worker
+     * core-reuse fast path of the streaming ExperimentRunner: trial
+     * results are bit-identical whether a Core is reset or rebuilt.
+     * Any Defense armed on this core must be torn down first (its
+     * destructor uninstalls the domain-switch hook).
+     */
+    void reset(const CpuModel &model, std::uint64_t seed);
+
     const CpuModel &model() const { return model_; }
     std::uint64_t seed() const { return seed_; }
     FrontendEngine &frontend() { return engine_; }
@@ -71,11 +82,12 @@ class Core
     /**
      * Run the whole core until thread @p tid retires @p insts more
      * instructions (the sibling thread co-executes). Returns the
-     * elapsed cycles. Fatal if @p max_cycles elapse first (deadlock
-     * guard).
+     * elapsed cycles. Fatal if the deadlock guard elapses first:
+     * @p max_cycles when non-zero, otherwise the model's
+     * CpuModel::deadlockKcycles knob ("model.deadlock_kcycles").
      */
     Cycles runUntilRetired(ThreadId tid, std::uint64_t insts,
-                           Cycles max_cycles = 50'000'000);
+                           Cycles max_cycles = 0);
     /// @}
 
     Cycles cycle() const { return engine_.cycle(); }

@@ -178,6 +178,8 @@ applyModelOverride(CpuModel &model, const std::string &key,
     else if (knob == "syncCycles") model.noise.syncCycles = as_cycles();
     else if (knob == "jitterPerKcycle")
         model.noise.jitterPerKcycle = value;
+    else if (knob == "deadlock_kcycles")
+        model.deadlockKcycles = as_cycles();
     else if (knob == "sgxEntryCycles")
         model.sgx.entryCycles = as_cycles();
     else if (knob == "sgxExitCycles")
@@ -203,6 +205,7 @@ modelOverrideKeys()
             "model.noiseStddevCycles", "model.spikeProb",
             "model.spikeCycles", "model.tscOverhead",
             "model.syncCycles", "model.jitterPerKcycle",
+            "model.deadlock_kcycles",
             "model.sgxEntryCycles", "model.sgxExitCycles",
             "model.sgxEntryJitterStddev", "model.raplUpdateIntervalUs",
             "model.raplQuantumMicroJoules",

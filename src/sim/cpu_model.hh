@@ -72,6 +72,13 @@ struct CpuModel
     EnergyParams energy;
     RaplParams rapl;
 
+    /** Deadlock guard of Core::runUntilRetired() in kilocycles
+     *  ("model.deadlock_kcycles"): a run that makes no retirement
+     *  progress for this long is declared stuck. Raise it for
+     *  deliberately glacial machines (e.g. huge model.lcpStall
+     *  sweeps); must be >= 1. */
+    Cycles deadlockKcycles = 50'000;
+
     bool lsdEnabled() const { return frontend.lsdEnabled; }
 };
 
@@ -106,6 +113,7 @@ const CpuModel *findCpuModel(const std::string &name);
  * "model.lsdEnabled"), the timing-noise calibration fields
  * ("model.noiseStddevCycles", "model.spikeProb", "model.spikeCycles",
  * "model.jitterPerKcycle", "model.tscOverhead", "model.syncCycles"),
+ * the deadlock guard ("model.deadlock_kcycles"),
  * SGX transition costs ("model.sgxEntryCycles", "model.sgxExitCycles",
  * "model.sgxEntryJitterStddev"), and RAPL behaviour
  * ("model.raplUpdateIntervalUs", "model.raplQuantumMicroJoules",

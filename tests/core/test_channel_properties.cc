@@ -21,6 +21,7 @@
 #include "common/message.hh"
 #include "core/mt_channels.hh"
 #include "core/nonmt_channels.hh"
+#include "core/trial_context.hh"
 #include "run/sweep.hh"
 #include "sim/cpu_model.hh"
 
@@ -47,11 +48,11 @@ TEST_P(EvictionDSweep, SignalPositiveAndDecodableAtEveryD)
     // variant's encode phase length scales with N+1-d and dominates
     // at small d.
     const int d = GetParam();
-    Core core(xeonE2288G(), 9); // quiet machine: clean means
+    TrialContext ctx(xeonE2288G(), 9); // quiet machine: clean means
     ChannelConfig cfg;
     cfg.d = d;
-    NonMtEvictionChannel channel(core, cfg);
-    const auto res = channel.transmit(altMessage(40));
+    NonMtEvictionChannel channel(ctx.core(), cfg);
+    const auto res = channel.transmit(altMessage(40), ctx);
     EXPECT_GT(res.meanObs1 - res.meanObs0, 0.0);
     EXPECT_LT(res.errorRate, 0.1);
 }
@@ -65,12 +66,13 @@ class RoundsSweep : public ::testing::TestWithParam<int>
 
 TEST_P(RoundsSweep, MoreRoundsNeverBreaksTheChannel)
 {
-    Core core(gold6226(), 10 + static_cast<unsigned>(GetParam()));
+    TrialContext ctx(gold6226(),
+                     10 + static_cast<unsigned>(GetParam()));
     ChannelConfig cfg;
     cfg.d = 6;
     cfg.rounds = GetParam();
-    NonMtEvictionChannel channel(core, cfg);
-    const auto res = channel.transmit(altMessage(40));
+    NonMtEvictionChannel channel(ctx.core(), cfg);
+    const auto res = channel.transmit(altMessage(40), ctx);
     EXPECT_LT(res.errorRate, 0.15) << "rounds=" << GetParam();
 }
 
@@ -82,12 +84,12 @@ TEST(ChannelProperties, RateScalesWithRounds)
     // Per-bit time is dominated by the rounds loop: quadrupling the
     // rounds must cut the rate by roughly 2-4x.
     auto rate_at = [](int rounds) {
-        Core core(xeonE2288G(), 21);
+        TrialContext ctx(xeonE2288G(), 21);
         ChannelConfig cfg;
         cfg.d = 6;
         cfg.rounds = rounds;
-        NonMtEvictionChannel channel(core, cfg);
-        return channel.transmit(altMessage(40)).transmissionKbps;
+        NonMtEvictionChannel channel(ctx.core(), cfg);
+        return channel.transmit(altMessage(40), ctx).transmissionKbps;
     };
     const double r10 = rate_at(10);
     const double r40 = rate_at(40);
@@ -103,23 +105,23 @@ TEST(ChannelProperties, FasterClockFasterChannel)
     slow.freqGhz = 2.0;
     fast.freqGhz = 4.0;
     auto rate_on = [](const CpuModel &model) {
-        Core core(model, 22);
+        TrialContext ctx(model, 22);
         ChannelConfig cfg;
         cfg.d = 6;
-        NonMtEvictionChannel channel(core, cfg);
-        return channel.transmit(altMessage(40)).transmissionKbps;
+        NonMtEvictionChannel channel(ctx.core(), cfg);
+        return channel.transmit(altMessage(40), ctx).transmissionKbps;
     };
     EXPECT_NEAR(rate_on(fast) / rate_on(slow), 2.0, 0.2);
 }
 
 TEST(ChannelProperties, TextRoundTripsThroughTheChannel)
 {
-    Core core(xeonE2288G(), 23);
+    TrialContext ctx(xeonE2288G(), 23);
     ChannelConfig cfg;
     cfg.d = 6;
-    NonMtEvictionChannel channel(core, cfg);
+    NonMtEvictionChannel channel(ctx.core(), cfg);
     const std::string text = "frontend";
-    const auto res = channel.transmit(textToBits(text));
+    const auto res = channel.transmit(textToBits(text), ctx);
     EXPECT_EQ(bitsToText(res.received), text);
 }
 
@@ -129,13 +131,13 @@ class PatternSweep : public ::testing::TestWithParam<MessagePattern>
 
 TEST_P(PatternSweep, NonMtEvictionHandlesEveryPattern)
 {
-    Core core(xeonE2288G(), 24);
+    TrialContext ctx(xeonE2288G(), 24);
     ChannelConfig cfg;
     cfg.d = 6;
-    NonMtEvictionChannel channel(core, cfg);
+    NonMtEvictionChannel channel(ctx.core(), cfg);
     Rng rng(25);
     const auto msg = makeMessage(GetParam(), 60, rng);
-    const auto res = channel.transmit(msg);
+    const auto res = channel.transmit(msg, ctx);
     EXPECT_LT(res.errorRate, 0.1) << toString(GetParam());
 }
 
@@ -156,13 +158,13 @@ class TargetSetSweep : public ::testing::TestWithParam<int>
 
 TEST_P(TargetSetSweep, ChannelWorksOnAnySet)
 {
-    Core core(xeonE2288G(), 26);
+    TrialContext ctx(xeonE2288G(), 26);
     ChannelConfig cfg;
     cfg.d = 6;
     cfg.targetSet = GetParam();
     cfg.altSet = (GetParam() + 11) % 32;
-    NonMtEvictionChannel channel(core, cfg);
-    const auto res = channel.transmit(altMessage(40));
+    NonMtEvictionChannel channel(ctx.core(), cfg);
+    const auto res = channel.transmit(altMessage(40), ctx);
     EXPECT_LT(res.errorRate, 0.1) << "set=" << GetParam();
 }
 
@@ -172,12 +174,12 @@ INSTANTIATE_TEST_SUITE_P(Sets, TargetSetSweep,
 TEST(ChannelProperties, MtStepsScaleBitTime)
 {
     auto rate_at = [](int steps) {
-        Core core(gold6226(), 27);
+        TrialContext ctx(gold6226(), 27);
         ChannelConfig cfg;
         cfg.d = 6;
         cfg.mtSteps = steps;
-        MtEvictionChannel channel(core, cfg);
-        return channel.transmit(altMessage(20)).transmissionKbps;
+        MtEvictionChannel channel(ctx.core(), cfg);
+        return channel.transmit(altMessage(20), ctx).transmissionKbps;
     };
     EXPECT_GT(rate_at(10), 1.5 * rate_at(40));
 }

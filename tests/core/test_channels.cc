@@ -14,6 +14,7 @@
 #include "core/mt_channels.hh"
 #include "core/nonmt_channels.hh"
 #include "core/power_channels.hh"
+#include "core/trial_context.hh"
 #include "sim/cpu_model.hh"
 
 namespace lf {
@@ -54,9 +55,9 @@ class NonMtChannelsOnCpu
 
 TEST_P(NonMtChannelsOnCpu, FastEvictionWorks)
 {
-    Core core(*GetParam(), 11);
-    NonMtEvictionChannel channel(core, evictCfg());
-    const auto res = channel.transmit(message());
+    TrialContext ctx(*GetParam(), 11);
+    NonMtEvictionChannel channel(ctx.core(), evictCfg());
+    const auto res = channel.transmit(message(), ctx);
     EXPECT_LT(res.errorRate, 0.12);
     EXPECT_GT(res.transmissionKbps, 100.0);
     EXPECT_LT(res.transmissionKbps, 20000.0);
@@ -64,36 +65,36 @@ TEST_P(NonMtChannelsOnCpu, FastEvictionWorks)
 
 TEST_P(NonMtChannelsOnCpu, StealthyEvictionWorks)
 {
-    Core core(*GetParam(), 12);
-    NonMtEvictionChannel channel(core, evictCfg(true));
-    const auto res = channel.transmit(message());
+    TrialContext ctx(*GetParam(), 12);
+    NonMtEvictionChannel channel(ctx.core(), evictCfg(true));
+    const auto res = channel.transmit(message(), ctx);
     EXPECT_LT(res.errorRate, 0.2);
 }
 
 TEST_P(NonMtChannelsOnCpu, FastMisalignmentWorks)
 {
-    Core core(*GetParam(), 13);
-    NonMtMisalignmentChannel channel(core, misalignCfg());
-    const auto res = channel.transmit(message());
+    TrialContext ctx(*GetParam(), 13);
+    NonMtMisalignmentChannel channel(ctx.core(), misalignCfg());
+    const auto res = channel.transmit(message(), ctx);
     EXPECT_LT(res.errorRate, 0.15);
 }
 
 TEST_P(NonMtChannelsOnCpu, StealthyMisalignmentBeatsGuessing)
 {
-    Core core(*GetParam(), 14);
-    NonMtMisalignmentChannel channel(core, misalignCfg(true));
-    const auto res = channel.transmit(message(100));
+    TrialContext ctx(*GetParam(), 14);
+    NonMtMisalignmentChannel channel(ctx.core(), misalignCfg(true));
+    const auto res = channel.transmit(message(100), ctx);
     EXPECT_LT(res.errorRate, 0.35); // noisy but far from 50%
 }
 
 TEST_P(NonMtChannelsOnCpu, SlowSwitchWorks)
 {
-    Core core(*GetParam(), 15);
+    TrialContext ctx(*GetParam(), 15);
     ChannelConfig cfg;
     cfg.r = 16;
     cfg.rounds = 20;
-    SlowSwitchChannel channel(core, cfg);
-    const auto res = channel.transmit(message());
+    SlowSwitchChannel channel(ctx.core(), cfg);
+    const auto res = channel.transmit(message(), ctx);
     EXPECT_LT(res.errorRate, 0.12);
     // Mixed issue must be distinguishable from ordered issue.
     EXPECT_NE(res.meanObs0, res.meanObs1);
@@ -101,12 +102,13 @@ TEST_P(NonMtChannelsOnCpu, SlowSwitchWorks)
 
 TEST_P(NonMtChannelsOnCpu, FastBeatsStealthyRate)
 {
-    Core fast_core(*GetParam(), 16);
-    NonMtEvictionChannel fast(fast_core, evictCfg(false));
-    const auto fast_res = fast.transmit(message());
-    Core stealthy_core(*GetParam(), 16);
-    NonMtEvictionChannel stealthy(stealthy_core, evictCfg(true));
-    const auto stealthy_res = stealthy.transmit(message());
+    TrialContext fast_ctx(*GetParam(), 16);
+    NonMtEvictionChannel fast(fast_ctx.core(), evictCfg(false));
+    const auto fast_res = fast.transmit(message(), fast_ctx);
+    TrialContext stealthy_ctx(*GetParam(), 16);
+    NonMtEvictionChannel stealthy(stealthy_ctx.core(), evictCfg(true));
+    const auto stealthy_res = stealthy.transmit(message(),
+                                                stealthy_ctx);
     EXPECT_GT(fast_res.transmissionKbps,
               stealthy_res.transmissionKbps * 0.99);
 }
@@ -131,9 +133,9 @@ class MtChannelsOnCpu
 
 TEST_P(MtChannelsOnCpu, EvictionWorks)
 {
-    Core core(*GetParam(), 21);
-    MtEvictionChannel channel(core, evictCfg());
-    const auto res = channel.transmit(message(40));
+    TrialContext ctx(*GetParam(), 21);
+    MtEvictionChannel channel(ctx.core(), evictCfg());
+    const auto res = channel.transmit(message(40), ctx);
     EXPECT_LT(res.errorRate, 0.3);
     EXPECT_GT(res.transmissionKbps, 20.0);
     EXPECT_LT(res.transmissionKbps, 1000.0);
@@ -141,20 +143,20 @@ TEST_P(MtChannelsOnCpu, EvictionWorks)
 
 TEST_P(MtChannelsOnCpu, MisalignmentWorks)
 {
-    Core core(*GetParam(), 22);
-    MtMisalignmentChannel channel(core, misalignCfg());
-    const auto res = channel.transmit(message(40));
+    TrialContext ctx(*GetParam(), 22);
+    MtMisalignmentChannel channel(ctx.core(), misalignCfg());
+    const auto res = channel.transmit(message(40), ctx);
     EXPECT_LT(res.errorRate, 0.3);
 }
 
 TEST_P(MtChannelsOnCpu, NonMtFasterThanMt)
 {
-    Core mt_core(*GetParam(), 23);
-    MtEvictionChannel mt(mt_core, evictCfg());
-    const auto mt_res = mt.transmit(message(30));
-    Core nonmt_core(*GetParam(), 23);
-    NonMtEvictionChannel nonmt(nonmt_core, evictCfg());
-    const auto nonmt_res = nonmt.transmit(message(30));
+    TrialContext mt_ctx(*GetParam(), 23);
+    MtEvictionChannel mt(mt_ctx.core(), evictCfg());
+    const auto mt_res = mt.transmit(message(30), mt_ctx);
+    TrialContext nonmt_ctx(*GetParam(), 23);
+    NonMtEvictionChannel nonmt(nonmt_ctx.core(), evictCfg());
+    const auto nonmt_res = nonmt.transmit(message(30), nonmt_ctx);
     EXPECT_GT(nonmt_res.transmissionKbps,
               3.0 * mt_res.transmissionKbps);
 }
@@ -188,13 +190,14 @@ TEST(MtChannels, RequireUpperHalfTargetSet)
 
 TEST(PowerChannels, EvictionTransmits)
 {
-    Core core(gold6226(), 31);
+    TrialContext ctx(gold6226(), 31);
     PowerChannelConfig power_cfg;
     power_cfg.rounds = 12000;
-    PowerEvictionChannel channel(core, evictCfg(true), power_cfg);
+    PowerEvictionChannel channel(ctx.core(), evictCfg(true),
+                                 power_cfg);
     Rng rng(4);
     const auto msg = makeMessage(MessagePattern::Alternating, 8, rng);
-    const auto res = channel.transmit(msg, 6);
+    const auto res = channel.transmit(msg, ctx, 6);
     EXPECT_LT(res.errorRate, 0.25);
     // Orders of magnitude below the timing channels.
     EXPECT_LT(res.transmissionKbps, 100.0);
@@ -202,14 +205,14 @@ TEST(PowerChannels, EvictionTransmits)
 
 TEST(PowerChannels, MisalignmentTransmits)
 {
-    Core core(gold6226(), 32);
+    TrialContext ctx(gold6226(), 32);
     PowerChannelConfig power_cfg;
     power_cfg.rounds = 20000;
-    PowerMisalignmentChannel channel(core, misalignCfg(true),
+    PowerMisalignmentChannel channel(ctx.core(), misalignCfg(true),
                                      power_cfg);
     Rng rng(5);
     const auto msg = makeMessage(MessagePattern::Alternating, 8, rng);
-    const auto res = channel.transmit(msg, 6);
+    const auto res = channel.transmit(msg, ctx, 6);
     EXPECT_LT(res.errorRate, 0.25);
 }
 

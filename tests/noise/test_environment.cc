@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/nonmt_channels.hh"
+#include "core/trial_context.hh"
 #include "noise/environment.hh"
 #include "run/sweep.hh"
 #include "sim/cpu_model.hh"
@@ -104,7 +105,7 @@ TEST(EnvQuiet, DefaultSpecIsQuietAndShapeKnobsStayQuiet)
 
 TEST(EnvQuiet, QuietHooksAreExactNoOps)
 {
-    Environment &env = Environment::quietEnvironment();
+    Environment env; // default-constructed = quiet
     EXPECT_TRUE(env.quiet());
     EXPECT_EQ(env.perturbTiming(1234.5), 1234.5);
     EXPECT_EQ(env.perturbPower(0.75), 0.75);
@@ -141,22 +142,21 @@ TEST(EnvDeterminism, EnvironmentSeedDecorrelatedFromCoreSeed)
     EXPECT_NE(deriveEnvironmentSeed(1), deriveEnvironmentSeed(2));
 }
 
-TEST(EnvIdentity, ZeroNoiseEnvironmentMatchesLegacyTransmit)
+TEST(EnvIdentity, ZeroNoiseEnvironmentMatchesDefaultContext)
 {
-    // Two identically seeded Cores: one through the legacy overload,
-    // one through an explicitly-bound zero-noise Environment. Every
-    // result field must match bit for bit.
+    // Two identically seeded contexts: one with the default (quiet)
+    // environment, one with an explicitly-bound all-zero
+    // EnvironmentSpec. Every result field must match bit for bit.
     ChannelConfig cfg;
     const auto msg = altMessage(60);
 
-    Core plain_core(gold6226(), 33);
-    NonMtEvictionChannel plain(plain_core, cfg);
-    const ChannelResult expect = plain.transmit(msg);
+    TrialContext plain_ctx(gold6226(), 33);
+    NonMtEvictionChannel plain(plain_ctx.core(), cfg);
+    const ChannelResult expect = plain.transmit(msg, plain_ctx);
 
-    Core env_core(gold6226(), 33);
-    NonMtEvictionChannel with_env(env_core, cfg);
-    Environment env(EnvironmentSpec{}, 33);
-    const ChannelResult got = with_env.transmit(msg, env);
+    TrialContext env_ctx(gold6226(), 33, EnvironmentSpec{});
+    NonMtEvictionChannel with_env(env_ctx.core(), cfg);
+    const ChannelResult got = with_env.transmit(msg, env_ctx);
 
     EXPECT_EQ(got.received, expect.received);
     EXPECT_EQ(got.errorRate, expect.errorRate);

@@ -6,6 +6,7 @@
 
 #include "common/message.hh"
 #include "core/nonmt_channels.hh"
+#include "core/trial_context.hh"
 #include "sgx/sgx_channels.hh"
 #include "sim/cpu_model.hh"
 
@@ -36,11 +37,11 @@ class SgxChannelsOnCpu
 
 TEST_P(SgxChannelsOnCpu, NonMtEvictionWorks)
 {
-    Core core(*GetParam(), 41);
+    TrialContext ctx(*GetParam(), 41);
     ChannelConfig cfg;
     cfg.d = 6;
-    SgxNonMtEvictionChannel channel(core, cfg, fastSgx());
-    const auto res = channel.transmit(message(), 8);
+    SgxNonMtEvictionChannel channel(ctx.core(), cfg, fastSgx());
+    const auto res = channel.transmit(message(), ctx, 8);
     EXPECT_LT(res.errorRate, 0.15);
     EXPECT_GT(res.transmissionKbps, 5.0);
     EXPECT_LT(res.transmissionKbps, 500.0);
@@ -48,12 +49,12 @@ TEST_P(SgxChannelsOnCpu, NonMtEvictionWorks)
 
 TEST_P(SgxChannelsOnCpu, NonMtMisalignmentWorks)
 {
-    Core core(*GetParam(), 42);
+    TrialContext ctx(*GetParam(), 42);
     ChannelConfig cfg;
     cfg.d = 5;
     cfg.M = 8;
-    SgxNonMtMisalignmentChannel channel(core, cfg, fastSgx());
-    const auto res = channel.transmit(message(), 8);
+    SgxNonMtMisalignmentChannel channel(ctx.core(), cfg, fastSgx());
+    const auto res = channel.transmit(message(), ctx, 8);
     EXPECT_LT(res.errorRate, 0.15);
 }
 
@@ -61,13 +62,14 @@ TEST_P(SgxChannelsOnCpu, SgxSlowerThanNonSgx)
 {
     ChannelConfig cfg;
     cfg.d = 6;
-    Core sgx_core(*GetParam(), 43);
-    SgxNonMtEvictionChannel sgx_channel(sgx_core, cfg, fastSgx());
-    const auto sgx_res = sgx_channel.transmit(message(), 8);
+    TrialContext sgx_ctx(*GetParam(), 43);
+    SgxNonMtEvictionChannel sgx_channel(sgx_ctx.core(), cfg,
+                                        fastSgx());
+    const auto sgx_res = sgx_channel.transmit(message(), sgx_ctx, 8);
 
-    Core plain_core(*GetParam(), 43);
-    NonMtEvictionChannel plain(plain_core, cfg);
-    const auto plain_res = plain.transmit(message(), 8);
+    TrialContext plain_ctx(*GetParam(), 43);
+    NonMtEvictionChannel plain(plain_ctx.core(), cfg);
+    const auto plain_res = plain.transmit(message(), plain_ctx, 8);
     // Paper: SGX rates are 1/25 - 1/30 of non-SGX; with the reduced
     // test rounds we still require a large gap.
     EXPECT_GT(plain_res.transmissionKbps,
@@ -89,11 +91,11 @@ TEST(SgxMtChannels, EvictionWorksOnSmtSgxMachines)
     for (const CpuModel *cpu : sgxCpuModels()) {
         if (!cpu->smtEnabled)
             continue;
-        Core core(*cpu, 44);
+        TrialContext ctx(*cpu, 44);
         ChannelConfig cfg;
         cfg.d = 6;
-        SgxMtEvictionChannel channel(core, cfg, fastSgx());
-        const auto res = channel.transmit(message(20), 6);
+        SgxMtEvictionChannel channel(ctx.core(), cfg, fastSgx());
+        const auto res = channel.transmit(message(20), ctx, 6);
         EXPECT_LT(res.errorRate, 0.3) << cpu->name;
     }
 }
@@ -103,12 +105,12 @@ TEST(SgxMtChannels, MisalignmentWorksOnSmtSgxMachines)
     for (const CpuModel *cpu : sgxCpuModels()) {
         if (!cpu->smtEnabled)
             continue;
-        Core core(*cpu, 45);
+        TrialContext ctx(*cpu, 45);
         ChannelConfig cfg;
         cfg.d = 5;
         cfg.M = 8;
-        SgxMtMisalignmentChannel channel(core, cfg, fastSgx());
-        const auto res = channel.transmit(message(20), 6);
+        SgxMtMisalignmentChannel channel(ctx.core(), cfg, fastSgx());
+        const auto res = channel.transmit(message(20), ctx, 6);
         EXPECT_LT(res.errorRate, 0.3) << cpu->name;
     }
 }

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Campaign-layer overhead and cache effectiveness, in BENCH form.
+ *
+ * The campaign subsystem (src/campaign) promises that fleet-running a
+ * sweep costs only bookkeeping: shard files, checkpoints, and the
+ * content-addressed result cache ride along the streaming runner
+ * without changing a byte of the summary. This bench prices that
+ * promise on one grid, three ways:
+ *
+ *   direct  the plain unsharded ExperimentRunner sweep (baseline
+ *           trials/sec, reference summary);
+ *   cold    plan + 4 x run-shard (fresh cache) + merge, in-process —
+ *           campaign overhead = direct time / cold campaign time,
+ *           with the merged summary diffed byte-for-byte against the
+ *           baseline (including after a mid-shard kill + resume);
+ *   warm    a re-planned campaign over the same grid with the now-
+ *           populated cache — reports the cache hit rate and the
+ *           speedup over cold.
+ *
+ * Emits BENCH_campaign.json. Shape gates: merged summaries (cold,
+ * killed+resumed, warm) are byte-identical to the direct sweep, and
+ * the warm rerun's cache hit rate exceeds 0.9.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "run/report.hh"
+#include "run/runner.hh"
+#include "run/sinks.hh"
+#include "run/sweep.hh"
+#include "sim/cpu_model.hh"
+
+using namespace lf;
+
+namespace {
+
+constexpr int kShards = 4;
+
+double
+seconds(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Run every shard of @p dir to completion; fatal on error. */
+ShardRunStats
+runAllShards(const std::string &dir, const std::string &cacheDir)
+{
+    ShardRunStats total;
+    for (int shard = 0; shard < kShards; ++shard) {
+        ShardRunOptions options;
+        options.threads = 1; // Overhead, not parallelism, is measured.
+        options.cacheDir = cacheDir;
+        ShardRunStats stats;
+        const std::string error =
+            runCampaignShard(dir, shard, options, &stats);
+        if (!error.empty()) {
+            std::fprintf(stderr, "run-shard failed: %s\n",
+                         error.c_str());
+            std::exit(1);
+        }
+        total.totalRows += stats.totalRows;
+        total.cacheHits += stats.cacheHits;
+        total.executed += stats.executed;
+        total.failedRows += stats.failedRows;
+        total.seconds += stats.seconds;
+    }
+    return total;
+}
+
+std::string
+mergeOrDie(const std::string &dir)
+{
+    std::string summary;
+    const std::string error = mergeCampaign(dir, summary);
+    if (!error.empty()) {
+        std::fprintf(stderr, "merge failed: %s\n", error.c_str());
+        std::exit(1);
+    }
+    return summary;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bench::banner(smoke ? "Campaign overhead + cache (smoke grid)"
+                        : "Campaign overhead + result cache");
+
+    SweepSpec sweep;
+    sweep.channels = {"nonmt-fast-eviction", "slow-switch"};
+    sweep.cpus = {gold6226().name};
+    sweep.axes = {{"rounds", smoke ? std::vector<double>{5, 10}
+                                   : std::vector<double>{5, 10, 20}}};
+    sweep.trials = smoke ? 4 : 16;
+    sweep.seed = 7001;
+    sweep.messageBits = smoke ? 12 : 48;
+
+    namespace fs = std::filesystem;
+    const fs::path root = fs::path("campaign-bench-tmp");
+    fs::remove_all(root);
+    const std::string cacheDir = (root / "cache").string();
+
+    // --- Direct baseline: the plain streaming sweep. ---
+    const ExperimentRunner runner(1);
+    const auto directStart = std::chrono::steady_clock::now();
+    SweepSummarySink directSink;
+    std::ostringstream directOs;
+    directSink.writeHeader(directOs);
+    std::size_t directRows = 0;
+    runner.run(expandSweep(sweep), [&](const ExperimentResult &res) {
+        ++directRows;
+        directSink.writeRow(res, directOs);
+    });
+    directSink.writeFooter(directOs);
+    const double directSeconds = seconds(directStart);
+    const std::string directSummary = directOs.str();
+
+    // --- Cold campaign: plan, kill shard 0 mid-run, resume, merge. ---
+    const std::string coldDir = (root / "cold").string();
+    std::string error = planCampaign(sweep, kShards, coldDir);
+    if (!error.empty()) {
+        std::fprintf(stderr, "plan failed: %s\n", error.c_str());
+        return 1;
+    }
+    const auto coldStart = std::chrono::steady_clock::now();
+    {
+        // Deterministic mid-shard kill: shard 0 stops after 2 rows
+        // and is resumed by the full pass below.
+        ShardRunOptions killed;
+        killed.threads = 1;
+        killed.cacheDir = cacheDir;
+        killed.maxNewRows = 2;
+        error = runCampaignShard(coldDir, 0, killed);
+        if (!error.empty()) {
+            std::fprintf(stderr, "killed shard failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+    }
+    ShardRunStats cold = runAllShards(coldDir, cacheDir);
+    cold.executed += 2; // The pre-kill rows are part of the cold cost.
+    const double coldSeconds = seconds(coldStart);
+    const std::string coldSummary = mergeOrDie(coldDir);
+    const bool coldIdentical = coldSummary == directSummary;
+
+    // --- Warm campaign: same grid, fresh dir, populated cache. ---
+    const std::string warmDir = (root / "warm").string();
+    error = planCampaign(sweep, kShards, warmDir);
+    if (!error.empty()) {
+        std::fprintf(stderr, "plan failed: %s\n", error.c_str());
+        return 1;
+    }
+    const auto warmStart = std::chrono::steady_clock::now();
+    const ShardRunStats warm = runAllShards(warmDir, cacheDir);
+    const double warmSeconds = seconds(warmStart);
+    const std::string warmSummary = mergeOrDie(warmDir);
+    const bool warmIdentical = warmSummary == directSummary;
+    const double warmHitRate = warm.cacheHitRate();
+
+    std::printf("rows %zu  direct %.3fs  cold campaign %.3fs"
+                " (x%.2f overhead)  warm %.3fs (hit rate %.0f%%)\n",
+                directRows, directSeconds, coldSeconds,
+                directSeconds > 0.0 ? coldSeconds / directSeconds
+                                    : 0.0,
+                warmSeconds, 100.0 * warmHitRate);
+    std::printf("merge identity: cold(+kill/resume) %s, warm %s\n",
+                coldIdentical ? "IDENTICAL" : "DIFFERS",
+                warmIdentical ? "IDENTICAL" : "DIFFERS");
+
+    bench::JsonReport report("campaign");
+    report.integer("rows", static_cast<long long>(directRows));
+    report.integer("shards", kShards);
+    report.boolean("smoke", smoke);
+    bench::JsonReport &direct = report.object("direct");
+    direct.number("seconds", directSeconds);
+    direct.number("trials_per_sec",
+                  directSeconds > 0.0
+                      ? static_cast<double>(directRows) / directSeconds
+                      : 0.0);
+    bench::JsonReport &coldObj = report.object("cold");
+    coldObj.number("seconds", coldSeconds);
+    coldObj.number("overhead_vs_direct",
+                   directSeconds > 0.0 ? coldSeconds / directSeconds
+                                       : 0.0);
+    coldObj.integer("executed", static_cast<long long>(cold.executed));
+    coldObj.integer("cache_hits",
+                    static_cast<long long>(cold.cacheHits));
+    coldObj.boolean("merge_identical", coldIdentical);
+    bench::JsonReport &warmObj = report.object("warm");
+    warmObj.number("seconds", warmSeconds);
+    warmObj.number("speedup_vs_cold",
+                   warmSeconds > 0.0 ? coldSeconds / warmSeconds
+                                     : 0.0);
+    warmObj.number("cache_hit_rate", warmHitRate);
+    warmObj.integer("executed", static_cast<long long>(warm.executed));
+    warmObj.boolean("merge_identical", warmIdentical);
+    report.writeFile(benchJsonFileName("campaign"));
+
+    fs::remove_all(root);
+    return bench::shapeCheck(
+        "merged summaries byte-identical incl. kill/resume, warm"
+        " cache hit rate > 0.9",
+        coldIdentical && warmIdentical && warmHitRate > 0.9);
+}

@@ -20,7 +20,6 @@
  * memory (use --quiet to also skip the buffered stdout table).
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
 #include "common/table.hh"
 #include "run/cli.hh"
 #include "run/sweep.hh"
@@ -78,6 +78,10 @@ usage(std::FILE *to)
         "                      starting at cell I (seeds are derived\n"
         "                      from full-grid cell indices, so shards\n"
         "                      reproduce the full run's rows exactly)\n"
+        "  --dry-run           print the expanded plan (cells, total\n"
+        "                      trials, grid hash, rows per shard) and\n"
+        "                      exit without running anything — the\n"
+        "                      same rendering lf_campaign plan uses\n"
         "  --json PATH         write per-trial results as JSON\n"
         "  --csv PATH          write per-trial results as CSV\n"
         "  --summary PATH      write the per-cell sweep summary table\n"
@@ -106,6 +110,7 @@ main(int argc, char **argv)
     std::string summary_path;
     bool quiet = false;
     bool progress = false;
+    bool dry_run = false;
 
     auto need_value = [&](int i) -> std::string {
         if (i + 1 >= argc) {
@@ -187,6 +192,8 @@ main(int argc, char **argv)
             summary_path = need_value(i++);
         } else if (arg == "--progress") {
             progress = true;
+        } else if (arg == "--dry-run") {
+            dry_run = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -225,6 +232,14 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (dry_run) {
+        // Same rendering lf_campaign plan prints, so the two surfaces
+        // cannot disagree about what a grid expands to.
+        std::printf("%s",
+                    renderCampaignPlan(sweep, shard.count).c_str());
+        return 0;
+    }
+
     // Everything downstream is a streaming consumer: file sinks write
     // rows as the runner delivers them (spec order, so the bytes are
     // identical at any --threads value), the sweep summary folds into
@@ -257,7 +272,9 @@ main(int argc, char **argv)
     const bool sweeping = !sweep.axes.empty() || sweep.trials > 1;
     const bool want_summary = (!quiet && sweeping) ||
         !summary_path.empty();
-    SweepSummarySink summary_sink("lf_run sweep summary");
+    // Default title, so a --summary file is byte-comparable with a
+    // campaign's merged_summary.txt (see docs/CAMPAIGNS.md).
+    SweepSummarySink summary_sink;
     std::ostringstream summary_os;
     if (want_summary)
         summary_sink.writeHeader(summary_os);
@@ -268,9 +285,7 @@ main(int argc, char **argv)
         text.writeHeader(text_os);
 
     const bool show_progress = progress && !quiet;
-    using Clock = std::chrono::steady_clock;
-    const Clock::time_point start = Clock::now();
-    Clock::time_point last_update = start;
+    ProgressMeter meter("lf_run", batch.size());
     std::size_t done = 0;
     std::size_t failures = 0;
     std::string first_error;
@@ -290,31 +305,11 @@ main(int argc, char **argv)
             summary_sink.writeRow(res, summary_os);
         if (!quiet)
             text.writeRow(res, text_os);
-        if (show_progress) {
-            const Clock::time_point now = Clock::now();
-            const double since_update =
-                std::chrono::duration<double>(now - last_update)
-                    .count();
-            if (since_update >= 0.1 || done == batch.size()) {
-                last_update = now;
-                const double elapsed =
-                    std::chrono::duration<double>(now - start).count();
-                const double rate =
-                    elapsed > 0.0 ? static_cast<double>(done) / elapsed
-                                  : 0.0;
-                const double eta = rate > 0.0
-                    ? static_cast<double>(batch.size() - done) / rate
-                    : 0.0;
-                std::fprintf(stderr,
-                             "\r[lf_run] %zu/%zu trials  %.1f"
-                             " trials/s  ETA %.0fs ",
-                             done, batch.size(), rate, eta);
-                std::fflush(stderr);
-            }
-        }
+        if (show_progress)
+            meter.update(done);
     });
-    if (show_progress && done > 0)
-        std::fprintf(stderr, "\n");
+    if (show_progress)
+        meter.finish();
 
     if (!quiet) {
         text.writeFooter(text_os);

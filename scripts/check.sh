@@ -21,7 +21,8 @@ cmake --build build-asan -j "${JOBS}" \
     --target lf_core_test_channel_registry lf_run_test_runner \
              lf_run_test_streaming lf_run_test_sweep lf_run_test_cli \
              lf_noise_test_environment lf_defense_test_defense \
-             lf_run table_defenses
+             lf_campaign_test_campaign lf_campaign_test_campaign_files \
+             lf_run lf_campaign table_defenses campaign_overhead
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
 ./build-asan/lf_run_test_streaming
@@ -29,9 +30,12 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/lf_run_test_cli
 ./build-asan/lf_noise_test_environment
 ./build-asan/lf_defense_test_defense
+./build-asan/lf_campaign_test_campaign
+./build-asan/lf_campaign_test_campaign_files
 
 echo "== documentation checks =="
-LF_RUN=build-check/lf_run ./scripts/check_docs.sh
+LF_RUN=build-check/lf_run LF_CAMPAIGN=build-check/lf_campaign \
+    ./scripts/check_docs.sh
 
 echo "== ASan/UBSan: sweep smoke test =="
 ./build-asan/lf_run --channel mt-eviction --cpu "Gold 6226" \
@@ -44,6 +48,33 @@ cmp build-asan/sweep-smoke.json build-asan/sweep-smoke-t1.json
 
 echo "== ASan/UBSan: defense-grid smoke test =="
 (cd build-asan && ./table_defenses --smoke > /dev/null)
+
+echo "== ASan/UBSan: campaign smoke (plan / kill / resume / merge) =="
+# A 4-shard campaign over a small grid: shard 0 is killed after one
+# row (--max-new 1), every shard is then run to completion (shard 0
+# resumes), and the merged summary must be byte-identical to the
+# unsharded lf_run --summary of the same grid.
+camp_dir="build-asan/campaign-smoke"
+rm -rf "${camp_dir}"
+./build-asan/lf_run --channel nonmt-fast-eviction --channel slow-switch \
+    --cpu "Gold 6226" --sweep rounds=5:10:5 --trials 2 --bits 12 \
+    --seed 11 --summary "${camp_dir}.golden" --quiet
+./build-asan/lf_campaign plan --dir "${camp_dir}" --shards 4 \
+    --channel nonmt-fast-eviction --channel slow-switch \
+    --cpu "Gold 6226" --sweep rounds=5:10:5 --trials 2 --bits 12 \
+    --seed 11 --quiet
+./build-asan/lf_campaign run-shard --dir "${camp_dir}" --shard 0 \
+    --max-new 1 --quiet
+for shard in 0 1 2 3; do
+    ./build-asan/lf_campaign run-shard --dir "${camp_dir}" \
+        --shard "${shard}" --cache "${camp_dir}-cache" --quiet
+done
+./build-asan/lf_campaign status --dir "${camp_dir}"
+./build-asan/lf_campaign merge --dir "${camp_dir}" --quiet
+cmp "${camp_dir}.golden" "${camp_dir}/merged_summary.txt"
+
+echo "== ASan/UBSan: campaign-overhead smoke test =="
+(cd build-asan && ./campaign_overhead --smoke > /dev/null)
 
 echo "== ASan/UBSan: runner-throughput smoke test =="
 # The target only exists when google-benchmark is installed (CMake

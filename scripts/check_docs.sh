@@ -3,22 +3,23 @@
 #
 #  1. every relative markdown link in README.md and docs/*.md resolves
 #     to an existing file;
-#  2. every lf_run invocation in a fenced snippet only uses flags the
-#     real CLI advertises in --help (a --help-driven smoke: docs can't
-#     drift from the binary);
+#  2. every lf_run / lf_campaign invocation in a fenced snippet only
+#     uses flags the real CLI advertises in --help (a --help-driven
+#     smoke: docs can't drift from the binaries);
 #  3. every override key (env.* / model.*) referenced in the docs is a
 #     key `lf_run --list` advertises, and every registry channel name
 #     appears in docs/CHANNELS.md (catalog completeness);
 #  4. when CHECK_DOCS_BASE is set (CI sets it to the PR base ref),
 #     CHANGES.md must have gained content relative to that ref.
 #
-# Usage: [LF_RUN=path/to/lf_run] [CHECK_DOCS_BASE=origin/main] \
-#            scripts/check_docs.sh
+# Usage: [LF_RUN=path/to/lf_run] [LF_CAMPAIGN=path/to/lf_campaign] \
+#            [CHECK_DOCS_BASE=origin/main] scripts/check_docs.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 LF_RUN="${LF_RUN:-build/lf_run}"
+LF_CAMPAIGN="${LF_CAMPAIGN:-build/lf_campaign}"
 DOCS=(README.md docs/*.md)
 fail=0
 
@@ -77,6 +78,32 @@ snippet_flags=$(
 for flag in $snippet_flags; do
     if ! printf '%s\n' "$help_flags" | grep -qx -- "$flag"; then
         note "documented flag $flag is not in lf_run --help"
+        fail=1
+    fi
+done
+
+# ---- 2b. Same check for lf_campaign snippets. ----
+if [ ! -x "$LF_CAMPAIGN" ]; then
+    note "lf_campaign not found at '$LF_CAMPAIGN'; build it first" \
+         "(cmake --build build --target lf_campaign) or set LF_CAMPAIGN"
+    exit 1
+fi
+campaign_help_flags=$("$LF_CAMPAIGN" --help |
+    grep -oE -- '--[a-z][a-z-]*' | sort -u)
+campaign_snippet_flags=$(
+    awk '
+        FNR == 1 { fence = 0; collect = 0 }
+        /^```/ { fence = !fence; next }
+        fence && (collect || /lf_campaign/) {
+            print
+            collect = /\\[[:space:]]*$/
+        }
+    ' "${DOCS[@]}" |
+    grep -oE -- '--[a-z][a-z-]*' | sort -u
+)
+for flag in $campaign_snippet_flags; do
+    if ! printf '%s\n' "$campaign_help_flags" | grep -qx -- "$flag"; then
+        note "documented flag $flag is not in lf_campaign --help"
         fail=1
     fi
 done

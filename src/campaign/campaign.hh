@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Campaign orchestration: a SweepSpec as a manifest-driven,
+ * resumable, cache-backed multi-process job.
+ *
+ * Lifecycle (each step is one process invocation, repeatable):
+ *
+ *   plan       planCampaign() — validate the grid, derive the grid
+ *              hash, write `<dir>/manifest.txt`;
+ *   run-shard  runCampaignShard() — expand the shard's slice of the
+ *              grid, subtract rows already checkpointed, serve what
+ *              the result cache already knows, stream the rest
+ *              through the ExperimentRunner, appending each row +
+ *              checkpoint as it completes — a killed shard re-runs
+ *              only missing rows;
+ *   merge      mergeCampaign() — load every shard's results, demand
+ *              exactly-once coverage of all rows, fold them in
+ *              full-grid order through SweepAccumulator, and render
+ *              the summary — byte-identical to the unsharded
+ *              single-process sweep, because the fold sees the same
+ *              results in the same order;
+ *   status     campaignStatus() — per-shard done/total observability
+ *              without touching anything.
+ *
+ * Row indexing: the unit of scheduling, checkpointing, and caching is
+ * one expanded trial ("row"). Rows are numbered by their position in
+ * the *full* unsharded batch (cell-major, trials consecutive), so an
+ * index means the same trial in every process that ever touches the
+ * campaign. Cells are mod-assigned to shards exactly as `--shard i/n`
+ * slices a sweep; shard i's p-th row has global index
+ * (i + (p / trials) * shards) * trials + p % trials.
+ */
+
+#ifndef LF_CAMPAIGN_CAMPAIGN_HH
+#define LF_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "campaign/manifest.hh"
+#include "run/sweep.hh"
+
+namespace lf {
+
+/** Manifest location inside a campaign directory. */
+std::string campaignManifestPath(const std::string &dir);
+
+/** Where mergeCampaign() leaves the merged summary. */
+std::string campaignSummaryPath(const std::string &dir);
+
+/** Global row index of shard-local row @p local of shard @p shard. */
+std::size_t campaignRowIndex(const CampaignManifest &manifest,
+                             int shard, std::size_t local);
+
+/**
+ * Human-readable plan: grid hash, dimension sizes, cell/row counts,
+ * and the per-shard row split. Shared by `lf_campaign plan` and
+ * `lf_run --dry-run` (with @p shards = the --shard count), so the two
+ * surfaces cannot disagree about what a grid expands to.
+ * @p spec must already be validated.
+ */
+std::string renderCampaignPlan(const SweepSpec &spec, int shards);
+
+/**
+ * Validate @p spec (structure and values), build the manifest, and
+ * write it to `<dir>/manifest.txt` (creating @p dir).
+ * @return an error message or the empty string.
+ */
+std::string planCampaign(const SweepSpec &spec, int shards,
+                         const std::string &dir,
+                         CampaignManifest *out = nullptr);
+
+/** Live per-shard progress, reported after every completed row. */
+struct ShardProgress
+{
+    std::size_t doneRows = 0;   //!< Incl. rows done before this run.
+    std::size_t totalRows = 0;  //!< Rows assigned to this shard.
+    std::size_t cacheHits = 0;  //!< This run.
+    std::size_t executed = 0;   //!< Trials actually simulated.
+};
+
+/** Knobs for one run-shard invocation. */
+struct ShardRunOptions
+{
+    int threads = 0;          //!< ExperimentRunner worker count.
+    std::string cacheDir;     //!< Result-cache root; empty = off.
+    /** Stop after this many newly-completed rows (0 = no limit).
+     *  Deterministic kill: the shard stays resumable, which is what
+     *  the kill/resume tests and CI smoke use. */
+    std::size_t maxNewRows = 0;
+    /** Invoked on the calling thread after every completed row. */
+    std::function<void(const ShardProgress &)> onProgress;
+};
+
+/** What one run-shard invocation did. */
+struct ShardRunStats
+{
+    std::size_t totalRows = 0;     //!< Assigned to the shard.
+    std::size_t resumedRows = 0;   //!< Already done when we started.
+    std::size_t cacheHits = 0;
+    std::size_t executed = 0;      //!< Simulated this run.
+    std::size_t failedRows = 0;    //!< Error rows (deterministic).
+    double seconds = 0.0;          //!< Wall time of this run.
+
+    std::size_t doneRows() const
+    {
+        return resumedRows + cacheHits + executed;
+    }
+    double trialsPerSec() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(executed) / seconds : 0.0;
+    }
+    double cacheHitRate() const
+    {
+        const std::size_t attempted = cacheHits + executed;
+        return attempted > 0
+            ? static_cast<double>(cacheHits) /
+                static_cast<double>(attempted)
+            : 0.0;
+    }
+};
+
+/**
+ * Run (or resume) shard @p shard of the campaign in @p dir.
+ * @return an error message or the empty string.
+ */
+std::string runCampaignShard(const std::string &dir, int shard,
+                             const ShardRunOptions &options,
+                             ShardRunStats *stats = nullptr);
+
+/** What mergeCampaign() saw. */
+struct MergeStats
+{
+    std::size_t rows = 0;
+    std::size_t cells = 0;
+    std::size_t failedRows = 0;
+    std::size_t skippedRows = 0;
+};
+
+/**
+ * Merge every shard of the campaign in @p dir: demand exactly-once
+ * coverage of all manifest rows (a missing row names the shard to
+ * resume), fold in full-grid order through SweepAccumulator, render
+ * the summary into @p summary, and write it to
+ * `<dir>/merged_summary.txt`.
+ * @return an error message or the empty string.
+ */
+std::string mergeCampaign(const std::string &dir, std::string &summary,
+                          MergeStats *stats = nullptr);
+
+/**
+ * Render a per-shard progress table (rows done/total per shard, from
+ * the shard logs; a shard with corrupt state reports its error
+ * instead of a count). Read-only.
+ * @return an error message (manifest problems only) or "".
+ */
+std::string campaignStatus(const std::string &dir,
+                           std::string &rendered);
+
+} // namespace lf
+
+#endif // LF_CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,315 @@
+#include "campaign/manifest.hh"
+
+#include <vector>
+
+#include "campaign/files.hh"
+#include "campaign/grid_hash.hh"
+#include "campaign/record.hh"
+#include "common/message.hh"
+#include "run/cli.hh"
+#include "run/sinks.hh"
+
+namespace lf {
+
+namespace {
+
+constexpr const char *kMagic = "lfcampaign-manifest";
+
+/** Split @p line on single spaces into words (no empty words). */
+std::vector<std::string>
+words(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        std::size_t end = line.find(' ', start);
+        if (end == std::string::npos)
+            end = line.size();
+        if (end > start)
+            out.push_back(line.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+planManifest(const SweepSpec &spec, int shards, CampaignManifest &out)
+{
+    std::string error = validateSweepSpec(spec);
+    if (!error.empty())
+        return error;
+    SweepShard probe;
+    probe.index = 0;
+    probe.count = shards;
+    error = validateSweepShard(spec, probe);
+    if (!error.empty())
+        return error;
+    out.spec = spec;
+    out.shards = shards;
+    out.cells = sweepCellCount(spec);
+    out.rows = out.cells * static_cast<std::size_t>(spec.trials);
+    out.gridHash = gridHash(spec);
+    return "";
+}
+
+std::string
+renderManifest(const CampaignManifest &manifest)
+{
+    const SweepSpec &spec = manifest.spec;
+    std::string out;
+    out += std::string(kMagic) + " v" +
+        std::to_string(CampaignManifest::kSchemaVersion) + "\n";
+    out += "grid_hash " + manifest.gridHash + "\n";
+    out += "shards " + std::to_string(manifest.shards) + "\n";
+    out += "cells " + std::to_string(manifest.cells) + "\n";
+    out += "rows " + std::to_string(manifest.rows) + "\n";
+    out += "trials " + std::to_string(spec.trials) + "\n";
+    out += "seed " + std::to_string(spec.seed) + "\n";
+    out += "message_bits " + std::to_string(spec.messageBits) + "\n";
+    out += "preamble_bits " + std::to_string(spec.preambleBits) + "\n";
+    out += "label " + percentEncode(spec.label) + "\n";
+    for (const std::string &channel : spec.channels)
+        out += "channel " + percentEncode(channel) + "\n";
+    for (const std::string &cpu : spec.cpus)
+        out += "cpu " + percentEncode(cpu) + "\n";
+    for (const MessagePattern pattern : spec.patterns)
+        out += "pattern " + std::string(toString(pattern)) + "\n";
+    for (const SweepAxis &axis : spec.axes) {
+        out += "axis " + percentEncode(axis.key);
+        for (const double value : axis.values)
+            out += " " + jsonNumber(value);
+        out += "\n";
+    }
+    for (const auto &[key, value] : spec.baseOverrides) {
+        out += "set " + percentEncode(key) + " " + jsonNumber(value) +
+            "\n";
+    }
+    out += "end\n";
+    return out;
+}
+
+std::string
+parseManifest(const std::string &text, const std::string &path,
+              CampaignManifest &out)
+{
+    out = CampaignManifest{};
+    SweepSpec spec;
+    spec.patterns.clear(); // The default pattern must not leak in.
+
+    bool sawEnd = false;
+    bool sawLabel = false;
+    // Scalars must appear exactly once; -1 marks "not yet seen".
+    long long shards = -1, cells = -1, rows = -1, trials = -1;
+    long long messageBits = -1;
+    bool sawSeed = false, sawPreamble = false, sawHash = false;
+    int preambleBits = 0;
+
+    std::size_t lineNo = 0;
+    std::size_t start = 0;
+    std::string error;
+    const auto fail = [&](const std::string &reason) {
+        return path + ": line " + std::to_string(lineNo) + ": " +
+            reason;
+    };
+    const auto decodeWord = [&](const std::string &word,
+                                std::string &value) {
+        if (!percentDecode(word, value)) {
+            error = fail("bad percent-encoding in \"" + word + "\"");
+            return false;
+        }
+        return true;
+    };
+
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        const bool terminated = end != std::string::npos;
+        if (!terminated)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++lineNo;
+        if (sawEnd && !line.empty())
+            return fail("content after \"end\" sentinel");
+        if (!terminated)
+            return fail("truncated line (missing newline)");
+        if (line.empty())
+            return fail("unexpected blank line");
+
+        if (lineNo == 1) {
+            const std::vector<std::string> head = words(line);
+            if (head.size() != 2 || head[0] != kMagic)
+                return fail("not a campaign manifest");
+            if (head[1] !=
+                "v" + std::to_string(CampaignManifest::kSchemaVersion)) {
+                return fail("unsupported manifest version \"" +
+                            head[1] + "\"");
+            }
+            continue;
+        }
+        if (line == "end") {
+            sawEnd = true;
+            continue;
+        }
+
+        const std::vector<std::string> parts = words(line);
+        const std::string &key = parts[0];
+        const auto scalar = [&](long long &slot) {
+            if (parts.size() != 2) {
+                error = fail("\"" + key + "\" wants one value");
+                return;
+            }
+            if (slot >= 0) {
+                error = fail("duplicate \"" + key + "\" line");
+                return;
+            }
+            std::uint64_t value = 0;
+            if (!parseStrictUint64(parts[1], value)) {
+                error = fail("bad \"" + key + "\" value \"" +
+                             parts[1] + "\"");
+                return;
+            }
+            slot = static_cast<long long>(value);
+        };
+
+        if (key == "grid_hash") {
+            if (parts.size() != 2 || sawHash)
+                return fail("bad or duplicate grid_hash line");
+            out.gridHash = parts[1];
+            sawHash = true;
+        } else if (key == "shards") {
+            scalar(shards);
+        } else if (key == "cells") {
+            scalar(cells);
+        } else if (key == "rows") {
+            scalar(rows);
+        } else if (key == "trials") {
+            scalar(trials);
+        } else if (key == "message_bits") {
+            scalar(messageBits);
+        } else if (key == "seed") {
+            if (parts.size() != 2 || sawSeed ||
+                !parseStrictUint64(parts[1], spec.seed)) {
+                return fail("bad or duplicate seed line");
+            }
+            sawSeed = true;
+        } else if (key == "preamble_bits") {
+            if (parts.size() != 2 || sawPreamble ||
+                !parseStrictInt(parts[1], preambleBits)) {
+                return fail("bad or duplicate preamble_bits line");
+            }
+            sawPreamble = true;
+        } else if (key == "label") {
+            // percentEncode("") == "", so an empty label renders as
+            // "label " and words() sees one part.
+            if (parts.size() > 2 || sawLabel)
+                return fail("bad or duplicate label line");
+            if (parts.size() == 2 &&
+                !decodeWord(parts[1], spec.label)) {
+                return error;
+            }
+            sawLabel = true;
+        } else if (key == "channel" || key == "cpu") {
+            if (parts.size() != 2)
+                return fail("\"" + key + "\" wants one value");
+            std::string name;
+            if (!decodeWord(parts[1], name))
+                return error;
+            (key == "channel" ? spec.channels : spec.cpus)
+                .push_back(name);
+        } else if (key == "pattern") {
+            MessagePattern pattern;
+            if (parts.size() != 2 ||
+                !messagePatternFromString(parts[1], pattern)) {
+                return fail("bad pattern line");
+            }
+            spec.patterns.push_back(pattern);
+        } else if (key == "axis") {
+            if (parts.size() < 3)
+                return fail("axis wants a key and >= 1 value");
+            SweepAxis axis;
+            if (!decodeWord(parts[1], axis.key))
+                return error;
+            for (std::size_t i = 2; i < parts.size(); ++i) {
+                double value = 0.0;
+                if (!parseStrictDouble(parts[i], value)) {
+                    return fail("bad axis value \"" + parts[i] +
+                                "\"");
+                }
+                axis.values.push_back(value);
+            }
+            spec.axes.push_back(std::move(axis));
+        } else if (key == "set") {
+            if (parts.size() != 3)
+                return fail("set wants a key and a value");
+            std::string name;
+            double value = 0.0;
+            if (!decodeWord(parts[1], name))
+                return error;
+            if (!parseStrictDouble(parts[2], value))
+                return fail("bad set value \"" + parts[2] + "\"");
+            if (!spec.baseOverrides.emplace(name, value).second)
+                return fail("duplicate set key \"" + name + "\"");
+        } else {
+            return fail("unknown manifest line \"" + key + "\"");
+        }
+    }
+    if (!sawEnd) {
+        return path +
+            ": truncated manifest (missing \"end\" sentinel)";
+    }
+    if (!sawHash || shards < 0 || cells < 0 || rows < 0 ||
+        trials < 0 || messageBits < 0 || !sawSeed || !sawPreamble ||
+        !sawLabel) {
+        return path + ": incomplete manifest (missing required line)";
+    }
+
+    spec.trials = static_cast<int>(trials);
+    spec.messageBits = static_cast<std::size_t>(messageBits);
+    spec.preambleBits = preambleBits;
+    out.spec = std::move(spec);
+    out.shards = static_cast<int>(shards);
+    out.cells = static_cast<std::size_t>(cells);
+    out.rows = static_cast<std::size_t>(rows);
+
+    const std::string specError = validateSweepSpec(out.spec);
+    if (!specError.empty())
+        return path + ": manifest spec invalid: " + specError;
+    if (out.cells != sweepCellCount(out.spec) ||
+        out.rows !=
+            out.cells * static_cast<std::size_t>(out.spec.trials)) {
+        return path + ": cell/row counts disagree with the spec";
+    }
+    if (out.shards < 1 ||
+        static_cast<std::size_t>(out.shards) > out.cells) {
+        return path + ": shard count out of range";
+    }
+    // The decisive integrity check: the stored hash must equal the
+    // hash of what we just parsed.
+    if (gridHash(out.spec) != out.gridHash) {
+        return path + ": grid hash mismatch (stored " + out.gridHash +
+            ", spec hashes to " + gridHash(out.spec) +
+            ") — manifest corrupt or hand-edited";
+    }
+    return "";
+}
+
+std::string
+writeManifestFile(const CampaignManifest &manifest,
+                  const std::string &path)
+{
+    return writeFileAtomic(path, renderManifest(manifest));
+}
+
+std::string
+loadManifestFile(const std::string &path, CampaignManifest &out)
+{
+    std::string text;
+    std::string error = readFileText(path, text);
+    if (!error.empty())
+        return error;
+    return parseManifest(text, path, out);
+}
+
+} // namespace lf

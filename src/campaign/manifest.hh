@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The campaign manifest: one file that pins a whole campaign.
+ *
+ * `lf_campaign plan` serializes the SweepSpec, the shard count, and
+ * the derived facts (grid hash, cell/row counts) into
+ * `<dir>/manifest.txt`; every later step (`run-shard`, `merge`,
+ * `status`) loads the manifest instead of re-taking the grid on the
+ * command line, so a campaign cannot drift between steps.
+ *
+ * Integrity is checked twice on load: the format is strict,
+ * line-by-line, ending in an `end` sentinel (a truncated file fails
+ * with "truncated", a malformed line fails with its line number), and
+ * the grid hash is *recomputed* from the parsed spec and compared to
+ * the stored one — a manifest whose spec fields were edited or
+ * corrupted after planning is rejected even if it still parses.
+ */
+
+#ifndef LF_CAMPAIGN_MANIFEST_HH
+#define LF_CAMPAIGN_MANIFEST_HH
+
+#include <cstddef>
+#include <string>
+
+#include "run/sweep.hh"
+
+namespace lf {
+
+/** A planned campaign: the grid plus its sharding and derived
+ *  identity. */
+struct CampaignManifest
+{
+    /** Format version of the on-disk encoding. */
+    static constexpr int kSchemaVersion = 1;
+
+    std::string gridHash;  //!< gridHash(spec), pinned at plan time.
+    int shards = 1;        //!< Shard count (cells mod-assigned).
+    std::size_t cells = 0; //!< sweepCellCount(spec).
+    std::size_t rows = 0;  //!< cells * spec.trials (total trials).
+    SweepSpec spec;        //!< The full grid, round-tripped exactly.
+};
+
+/**
+ * Build a manifest for @p spec split @p shards ways. Validates the
+ * spec and the shard count (via the sweep validators).
+ * @return an error message or the empty string.
+ */
+std::string planManifest(const SweepSpec &spec, int shards,
+                         CampaignManifest &out);
+
+/** Serialize @p manifest (ends with the `end` sentinel line). */
+std::string renderManifest(const CampaignManifest &manifest);
+
+/**
+ * Parse renderManifest() output. Strict: unknown or out-of-place
+ * lines, unparsable values, a missing `end` sentinel, a schema
+ * version this build does not speak, or a grid hash that does not
+ * match the parsed spec all fail. @p path only labels error messages.
+ * @return an error message ("" on success).
+ */
+std::string parseManifest(const std::string &text,
+                          const std::string &path,
+                          CampaignManifest &out);
+
+/** renderManifest() to @p path (atomic: temp file + rename).
+ *  @return an error message or the empty string. */
+std::string writeManifestFile(const CampaignManifest &manifest,
+                              const std::string &path);
+
+/** Read + parseManifest() from @p path. */
+std::string loadManifestFile(const std::string &path,
+                             CampaignManifest &out);
+
+} // namespace lf
+
+#endif // LF_CAMPAIGN_MANIFEST_HH

@@ -1,0 +1,262 @@
+#include "campaign/record.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/message.hh"
+#include "run/cli.hh"
+#include "run/sinks.hh"
+
+namespace lf {
+
+std::string
+percentEncode(const std::string &text)
+{
+    // Also escapes the record/overrides metacharacters ('=', ':', ',')
+    // so encoded tokens can be split on them without quoting rules.
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x21 || byte == 0x7f || c == '%' || c == '=' ||
+            c == ':' || c == ',') {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", byte);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+bool
+percentDecode(const std::string &text, std::string &out)
+{
+    const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    out.clear();
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '%') {
+            out.push_back(text[i]);
+            continue;
+        }
+        if (i + 2 >= text.size())
+            return false; // Truncated escape.
+        const int hi = hex(text[i + 1]);
+        const int lo = hex(text[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+    }
+    return true;
+}
+
+namespace {
+
+/** Tokenizer state over one record line. */
+struct TokenReader
+{
+    std::vector<std::pair<std::string, std::string>> tokens;
+    std::size_t next = 0;
+
+    /** Split @p line into name=value tokens; empty on a malformed
+     *  token (a chunk without '='). */
+    std::string split(const std::string &line)
+    {
+        std::size_t start = 0;
+        while (start <= line.size()) {
+            std::size_t end = line.find(' ', start);
+            if (end == std::string::npos)
+                end = line.size();
+            const std::string chunk = line.substr(start, end - start);
+            start = end + 1;
+            if (chunk.empty())
+                continue;
+            const std::size_t eq = chunk.find('=');
+            if (eq == std::string::npos)
+                return "malformed token \"" + chunk + "\" (no '=')";
+            tokens.emplace_back(chunk.substr(0, eq),
+                                chunk.substr(eq + 1));
+        }
+        return "";
+    }
+
+    /** The next token, which must be named @p name. */
+    std::string expect(const char *name, std::string &value)
+    {
+        if (next >= tokens.size())
+            return std::string("record truncated before \"") + name +
+                "\" field";
+        if (tokens[next].first != name) {
+            return "expected field \"" + std::string(name) +
+                "\", found \"" + tokens[next].first + "\"";
+        }
+        value = tokens[next++].second;
+        return "";
+    }
+};
+
+} // namespace
+
+std::string
+encodeResultRecord(std::size_t index, const ExperimentResult &res)
+{
+    const ExperimentSpec &spec = res.spec;
+    std::string out;
+    out += "idx=" + std::to_string(index);
+    out += " label=" + percentEncode(spec.label);
+    out += " channel=" + percentEncode(spec.channel);
+    out += " cpu=" + percentEncode(spec.cpu);
+    out += " seed=" + std::to_string(spec.seed);
+    out += " trial=" + std::to_string(spec.trial);
+    out += " pattern=" + std::string(toString(spec.pattern));
+    out += " bits=" + std::to_string(spec.messageBits);
+    out += " preamble=" + std::to_string(spec.preambleBits);
+    out += " ok=" + std::string(res.ok ? "1" : "0");
+    out += " skipped=" + std::string(res.skipped ? "1" : "0");
+    out += " error=" + percentEncode(res.error);
+    out += " error_rate=" + jsonNumber(res.result.errorRate);
+    out += " kbps=" + jsonNumber(res.result.transmissionKbps);
+    out += " seconds=" + jsonNumber(res.result.seconds);
+    out += " overrides=";
+    bool first = true;
+    for (const auto &[key, value] : spec.overrides) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += percentEncode(key) + ":" + jsonNumber(value);
+    }
+    return out;
+}
+
+std::string
+decodeResultRecord(const std::string &line, std::size_t &index,
+                   ExperimentResult &res)
+{
+    TokenReader reader;
+    std::string error = reader.split(line);
+    if (!error.empty())
+        return error;
+
+    const auto decoded = [&error](const std::string &raw,
+                                  const char *what) {
+        std::string text;
+        if (!percentDecode(raw, text))
+            error = std::string("bad percent-encoding in \"") + what +
+                "\" field";
+        return text;
+    };
+    const auto toUint = [&error](const std::string &raw,
+                                 const char *what) {
+        std::uint64_t value = 0;
+        if (!parseStrictUint64(raw, value))
+            error = std::string("bad integer in \"") + what +
+                "\" field: \"" + raw + "\"";
+        return value;
+    };
+    const auto toInt = [&error](const std::string &raw,
+                                const char *what) {
+        int value = 0;
+        if (!parseStrictInt(raw, value))
+            error = std::string("bad integer in \"") + what +
+                "\" field: \"" + raw + "\"";
+        return value;
+    };
+    const auto toDouble = [&error](const std::string &raw,
+                                   const char *what) {
+        double value = 0.0;
+        if (!parseStrictDouble(raw, value))
+            error = std::string("bad number in \"") + what +
+                "\" field: \"" + raw + "\"";
+        return value;
+    };
+    const auto toBool = [&error](const std::string &raw,
+                                 const char *what) {
+        if (raw != "0" && raw != "1") {
+            error = std::string("bad flag in \"") + what +
+                "\" field: \"" + raw + "\" (want 0 or 1)";
+        }
+        return raw == "1";
+    };
+
+    res = ExperimentResult{};
+    std::string value;
+    // Field order is fixed; the first failure (wrong name, missing
+    // token, unparsable value) wins and aborts the decode.
+#define LF_FIELD(name, apply)                                          \
+    do {                                                               \
+        error = reader.expect(name, value);                            \
+        if (error.empty()) {                                           \
+            apply;                                                     \
+        }                                                              \
+        if (!error.empty())                                            \
+            return error;                                              \
+    } while (0)
+
+    LF_FIELD("idx", index = toUint(value, "idx"));
+    LF_FIELD("label", res.spec.label = decoded(value, "label"));
+    LF_FIELD("channel", res.spec.channel = decoded(value, "channel"));
+    LF_FIELD("cpu", res.spec.cpu = decoded(value, "cpu"));
+    LF_FIELD("seed", res.spec.seed = toUint(value, "seed"));
+    LF_FIELD("trial", res.spec.trial = toInt(value, "trial"));
+    LF_FIELD("pattern", {
+        if (!messagePatternFromString(value, res.spec.pattern))
+            error = "unknown pattern \"" + value + "\"";
+    });
+    LF_FIELD("bits", res.spec.messageBits =
+        static_cast<std::size_t>(toUint(value, "bits")));
+    LF_FIELD("preamble",
+             res.spec.preambleBits = toInt(value, "preamble"));
+    LF_FIELD("ok", res.ok = toBool(value, "ok"));
+    LF_FIELD("skipped", res.skipped = toBool(value, "skipped"));
+    LF_FIELD("error", res.error = decoded(value, "error"));
+    LF_FIELD("error_rate",
+             res.result.errorRate = toDouble(value, "error_rate"));
+    LF_FIELD("kbps",
+             res.result.transmissionKbps = toDouble(value, "kbps"));
+    LF_FIELD("seconds",
+             res.result.seconds = toDouble(value, "seconds"));
+    LF_FIELD("overrides", {
+        std::size_t start = 0;
+        while (start < value.size() && error.empty()) {
+            std::size_t end = value.find(',', start);
+            if (end == std::string::npos)
+                end = value.size();
+            const std::string pair = value.substr(start, end - start);
+            start = end + 1;
+            const std::size_t colon = pair.find(':');
+            if (colon == std::string::npos) {
+                error = "malformed override \"" + pair +
+                    "\" (no ':')";
+                break;
+            }
+            const std::string key =
+                decoded(pair.substr(0, colon), "overrides");
+            const double v =
+                toDouble(pair.substr(colon + 1), "overrides");
+            if (error.empty() &&
+                !res.spec.overrides.emplace(key, v).second) {
+                error = "duplicate override key \"" + key + "\"";
+            }
+        }
+    });
+#undef LF_FIELD
+
+    if (reader.next != reader.tokens.size()) {
+        return "trailing field \"" + reader.tokens[reader.next].first +
+            "\" after record";
+    }
+    return "";
+}
+
+} // namespace lf

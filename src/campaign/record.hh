@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The one-line result record shared by shard output files and the
+ * result cache.
+ *
+ * A record serializes everything SweepAccumulator needs to fold a
+ * trial into a campaign summary — the cell identity (label, channel,
+ * cpu, pattern, message/preamble bits, overrides), the seed/trial
+ * provenance, and the outcome (ok/skipped/error plus the three folded
+ * statistics) — as space-separated `key=value` tokens in a fixed
+ * order. Strings are percent-encoded (space, '%', control bytes), so
+ * a record is always exactly one line; doubles render with the sinks'
+ * round-trip-exact format and are parsed back to the identical bits,
+ * which is what makes a merged summary *byte*-identical to the
+ * unsharded run rather than merely close.
+ *
+ * Decoding is strict: every token must be present, in order, and
+ * parse exactly — a corrupt or truncated record is a diagnosable
+ * error string (never a partially-filled result), per the campaign
+ * file-hardening contract.
+ */
+
+#ifndef LF_CAMPAIGN_RECORD_HH
+#define LF_CAMPAIGN_RECORD_HH
+
+#include <cstddef>
+#include <string>
+
+#include "run/experiment.hh"
+
+namespace lf {
+
+/** Percent-encode @p text so it contains no spaces, control bytes, or
+ *  '%' — safe as one token of a line-based file format. */
+std::string percentEncode(const std::string &text);
+
+/** Invert percentEncode(). @return false on malformed input (bad or
+ *  truncated escape). */
+bool percentDecode(const std::string &text, std::string &out);
+
+/**
+ * Serialize @p res (the @p index -th trial of the full campaign
+ * batch) as one newline-free record line.
+ */
+std::string encodeResultRecord(std::size_t index,
+                               const ExperimentResult &res);
+
+/**
+ * Parse a record line back into (@p index, @p res). Only the fields a
+ * record carries are populated; everything else keeps its default.
+ * @return an error message naming the offending token ("" on
+ *         success). On error @p res is unspecified — discard it.
+ */
+std::string decodeResultRecord(const std::string &line,
+                               std::size_t &index,
+                               ExperimentResult &res);
+
+} // namespace lf
+
+#endif // LF_CAMPAIGN_RECORD_HH

@@ -1,8 +1,10 @@
 #include "run/cli.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "common/table.hh"
 #include "defense/defense.hh"
@@ -232,6 +234,44 @@ renderOverrideKeyCatalog()
     family(os, "Defense override keys (--set / --sweep)",
            defenseOverrideKeys());
     return os.str();
+}
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total)
+    : label_(std::move(label)), total_(total),
+      start_(std::chrono::steady_clock::now()), lastUpdate_(start_)
+{
+}
+
+void
+ProgressMeter::update(std::size_t done, const std::string &extra)
+{
+    const auto now = std::chrono::steady_clock::now();
+    const double sinceUpdate =
+        std::chrono::duration<double>(now - lastUpdate_).count();
+    if (sinceUpdate < 0.1 && done != total_ && drew_)
+        return;
+    lastUpdate_ = now;
+    drew_ = true;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    const double eta = rate > 0.0
+        ? static_cast<double>(total_ - done) / rate
+        : 0.0;
+    std::fprintf(stderr, "\r[%s] %zu/%zu trials  %.1f trials/s"
+                 "  ETA %.0fs%s%s ",
+                 label_.c_str(), done, total_, rate, eta,
+                 extra.empty() ? "" : "  ", extra.c_str());
+    std::fflush(stderr);
+}
+
+void
+ProgressMeter::finish()
+{
+    if (drew_)
+        std::fprintf(stderr, "\n");
+    drew_ = false;
 }
 
 } // namespace lf

@@ -13,6 +13,7 @@
 #ifndef LF_RUN_CLI_HH
 #define LF_RUN_CLI_HH
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -59,6 +60,37 @@ std::string parseSweepArg(const std::string &text,
 
 /** Parse an "i/n" shard selector (0 <= i < n). */
 std::string parseShardArg(const std::string &text, SweepShard &shard);
+
+/**
+ * Rate-limited live progress line on stderr, shared by `lf_run
+ * --progress` and `lf_campaign run-shard --progress`: carriage-
+ * return-overwritten "done/total, trials/sec, ETA" plus an optional
+ * caller extra (the campaign appends its cache-hit rate). Purely
+ * observational — it never touches stdout, so piped output stays
+ * clean.
+ */
+class ProgressMeter
+{
+  public:
+    /** @param label Tag printed as "[label]"; @param total Work-item
+     *  count the ETA is computed against. */
+    ProgressMeter(std::string label, std::size_t total);
+
+    /** Report @p done items complete (monotonic). Redraws at most
+     *  every 0.1 s (and always for the final item). @p extra is
+     *  appended verbatim to the line. */
+    void update(std::size_t done, const std::string &extra = "");
+
+    /** Terminate the progress line (newline) if anything was drawn. */
+    void finish();
+
+  private:
+    std::string label_;
+    std::size_t total_;
+    bool drew_ = false;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastUpdate_;
+};
 
 /**
  * The registry catalog the CLI prints for --list-channels: every

@@ -33,6 +33,23 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/lf_campaign_test_campaign
 ./build-asan/lf_campaign_test_campaign_files
 
+echo "== TSan: runner/streaming/campaign tests =="
+# The streaming runner is lock-free on its hot path (per-slot seq
+# atomics + Dekker-style park flags); ThreadSanitizer is the gate
+# that the protocol stays data-race-free.
+cmake -B build-tsan -S . -DLF_TSAN=ON
+cmake --build build-tsan -j "${JOBS}" \
+    --target lf_run_test_runner lf_run_test_streaming \
+             lf_campaign_test_campaign lf_campaign_test_campaign_files \
+             lf_run
+./build-tsan/lf_run_test_runner
+./build-tsan/lf_run_test_streaming
+./build-tsan/lf_campaign_test_campaign
+./build-tsan/lf_campaign_test_campaign_files
+./build-tsan/lf_run --channel mt-eviction --cpu "Gold 6226" \
+    --sweep d=4:6:1 --trials 2 --threads 4 \
+    --json build-tsan/sweep-tsan.json --quiet
+
 echo "== documentation checks =="
 LF_RUN=build-check/lf_run LF_CAMPAIGN=build-check/lf_campaign \
     ./scripts/check_docs.sh

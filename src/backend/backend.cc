@@ -1,5 +1,8 @@
 #include "backend/backend.hh"
 
+#include <algorithm>
+#include <cstdint>
+
 namespace lf {
 
 Backend::Backend(FrontendEngine *engine)
@@ -18,21 +21,39 @@ Backend::reset()
 void
 Backend::tick()
 {
-    int budget = issueWidth_;
-    bool progress = true;
-    while (budget > 0 && progress) {
-        progress = false;
-        for (int i = 0; i < FrontendEngine::kNumThreads && budget > 0;
-             ++i) {
-            const int tid = (rrStart_ + i) % FrontendEngine::kNumThreads;
-            std::uint64_t insts = 0;
-            if (engine_->popUops(tid, 1, insts) > 0) {
-                --budget;
-                progress = true;
-                lastRetire_[static_cast<std::size_t>(tid)] =
-                    engine_->cycle();
-            }
-        }
+    // Round-robin drain, computed arithmetically: the reference
+    // behaviour pops one micro-op alternately from each non-empty IDQ
+    // starting at rrStart_ until the issue budget or both queues run
+    // dry. Popping from distinct queues commutes, so the per-thread
+    // *counts* of that interleaving fully determine the outcome —
+    // while both queues are non-empty the budget splits evenly (the
+    // rrStart_ thread taking the odd micro-op), and whatever is left
+    // drains from the longer queue. Computing the counts and popping
+    // each thread once keeps the per-cycle cost at two bulk pops
+    // instead of 2*issueWidth virtual-call round trips.
+    static_assert(FrontendEngine::kNumThreads == 2,
+                  "allocation below assumes two SMT threads");
+    const int first = rrStart_;
+    const int second = first ^ 1;
+    const int a = engine_->idqOccupancy(first);
+    const int b = engine_->idqOccupancy(second);
+    int pops_first = 0;
+    int pops_second = 0;
+    const int paired = a < b ? a : b;
+    if (issueWidth_ <= 2 * paired) {
+        pops_first = (issueWidth_ + 1) / 2;
+        pops_second = issueWidth_ / 2;
+    } else {
+        const int rest = issueWidth_ - 2 * paired;
+        pops_first = paired + std::min(a - paired, rest);
+        pops_second = paired + std::min(b - paired, rest);
+    }
+    std::uint64_t insts = 0;
+    if (pops_first > 0 && engine_->popUops(first, pops_first, insts) > 0)
+        lastRetire_[static_cast<std::size_t>(first)] = engine_->cycle();
+    if (pops_second > 0 &&
+        engine_->popUops(second, pops_second, insts) > 0) {
+        lastRetire_[static_cast<std::size_t>(second)] = engine_->cycle();
     }
     rrStart_ = (rrStart_ + 1) % FrontendEngine::kNumThreads;
 }

@@ -28,6 +28,19 @@ class Backend
     /** Consume micro-ops for one cycle. */
     void tick();
 
+    /**
+     * Account for @p cycles ticks in which both IDQs were empty (the
+     * caller's claim): no micro-op moves, but the round-robin start
+     * still alternates every cycle, so parity must advance for the
+     * first post-skip contended cycle to pick the same thread a
+     * ticked execution would.
+     */
+    void skip(Cycles cycles)
+    {
+        if (cycles & 1)
+            rrStart_ ^= 1;
+    }
+
     /** Back to the pristine post-construction state (the engine
      *  pointer is kept; its params are re-read for the issue width). */
     void reset();

@@ -48,7 +48,11 @@ OnlineStats::reset()
 double
 OnlineStats::variance() const
 {
-    if (count_ < 2)
+    // Population convention (see stats.hh). A single sample has
+    // m2_ == 0, so the guard is only about the 0/0 of an empty
+    // accumulator — count_ < 2 and count_ == 0 give identical
+    // results, but spell it the same way as the batch stddev() guard.
+    if (count_ == 0)
         return 0.0;
     return m2_ / static_cast<double>(count_);
 }
@@ -152,7 +156,9 @@ mean(const std::vector<double> &values)
 double
 stddev(const std::vector<double> &values)
 {
-    if (values.size() < 2)
+    // Population convention (see stats.hh): divide by n, matching
+    // OnlineStats::stddev() over the same samples.
+    if (values.empty())
         return 0.0;
     const double m = mean(values);
     double sq = 0.0;

@@ -1,6 +1,16 @@
 /**
  * @file
  * Streaming statistics and histograms used by the measurement harness.
+ *
+ * Variance convention: every variance/stddev in this header —
+ * OnlineStats (including after merge()) and the batch helpers below —
+ * is the *population* form (divide by n, not n - 1). The harness
+ * summarises complete sample sets it generated itself, not samples
+ * from a larger population, so the uncorrected estimator is the right
+ * one; more importantly, a sweep cell must report the same number
+ * whether its trials were folded online, merged across shards, or
+ * recomputed from a collected vector. Empty and single-sample inputs
+ * yield 0.
  */
 
 #ifndef LF_COMMON_STATS_HH
@@ -33,7 +43,7 @@ class OnlineStats
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
-    /** Population variance. */
+    /** Population variance (see the file comment; 0 for count < 2). */
     double variance() const;
 
     /** Population standard deviation. */
@@ -101,7 +111,8 @@ class Histogram
 /** Mean of a vector (0 for empty input). */
 double mean(const std::vector<double> &values);
 
-/** Population standard deviation of a vector (0 for size < 2). */
+/** Population standard deviation of a vector (0 for size < 2).
+ *  Matches OnlineStats::stddev() over the same samples. */
 double stddev(const std::vector<double> &values);
 
 /** Median (averaged middle pair for even sizes; 0 for empty). */

@@ -151,6 +151,10 @@ class CovertChannel
      *  (serializing rdtscp reads are not free for the attacker). */
     void chargeMeasurementOverhead();
 
+    /** Resolved DSB line capacity of the bound core's model — the
+     *  decode parameter the prepared-chain cache keys on. */
+    int dsbLineUops() const { return core_.model().frontend.dsbLineUops; }
+
     Core &core_;
     ChannelConfig cfg_;
     bool setupDone_ = false;

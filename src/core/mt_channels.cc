@@ -31,8 +31,8 @@ double
 MtChannelBase::transmitBit(bool bit)
 {
     // Init: receiver loop reaches steady state with the sender idle.
-    core_.setProgram(kReceiver, &receiver_.program);
-    runLoopIters(core_, kReceiver, receiver_,
+    core_.setProgram(kReceiver, *receiver_);
+    runLoopIters(core_, kReceiver, *receiver_,
                  static_cast<std::uint64_t>(cfg_.initIters));
 
     double sum = 0.0;
@@ -44,17 +44,17 @@ MtChannelBase::transmitBit(bool bit)
             // over its blocks *while the receiver measures*, so the
             // receiver observes both the repartition refills and the
             // shared-frontend contention.
-            core_.setProgram(kSender, &encodeOne_.program);
+            core_.setProgram(kSender, *encodeOne_);
             core_.runUntilRetired(
                 kSender,
                 static_cast<std::uint64_t>(cfg_.mtSenderIters) *
-                    encodeOne_.instsPerIteration);
+                    encodeOne_->chain.instsPerIteration);
         }
         // Decode: the receiver times its own loop, concurrently with
         // the sender when a 1 is being encoded.
         for (int k = 0; k < cfg_.mtMeasPerStep; ++k) {
             chargeMeasurementOverhead();
-            sum += timedLoopIters(core_, kReceiver, receiver_, 1);
+            sum += timedLoopIters(core_, kReceiver, *receiver_, 1);
             ++samples;
         }
         if (bit)
@@ -82,11 +82,14 @@ MtEvictionChannel::setup()
     lf_assert(cfg_.targetSet >= 16,
               "MT channels need a target set in the partition-mapped"
               " half (>= 16), got %d", cfg_.targetSet);
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
-                                            false));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d,
+                                              cfg_.N + 1 - cfg_.d,
+                                              false),
+                                      dsbLineUops());
 }
 
 MtMisalignmentChannel::MtMisalignmentChannel(Core &core,
@@ -108,11 +111,13 @@ MtMisalignmentChannel::setup()
               "MT channels need a target set in the partition-mapped"
               " half (>= 16), got %d", cfg_.targetSet);
     lf_assert(cfg_.M > cfg_.d, "misalignment channel needs M > d");
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.M - cfg_.d,
-                                            true));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d, cfg_.M - cfg_.d,
+                                              true),
+                                      dsbLineUops());
 }
 
 } // namespace lf

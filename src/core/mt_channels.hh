@@ -21,7 +21,7 @@
 #define LF_CORE_MT_CHANNELS_HH
 
 #include "core/channel.hh"
-#include "isa/mix_block.hh"
+#include "frontend/prepared.hh"
 
 namespace lf {
 
@@ -37,8 +37,8 @@ class MtChannelBase : public CovertChannel
     static constexpr ThreadId kReceiver = 0;
     static constexpr ThreadId kSender = 1;
 
-    ChainProgram receiver_;
-    ChainProgram encodeOne_;
+    PreparedChainPtr receiver_;
+    PreparedChainPtr encodeOne_;
 };
 
 /** MT eviction-based attack (Sec. V-A): sender runs N+1-d aligned

@@ -39,16 +39,19 @@ NonMtEvictionChannel::setup()
 {
     // Receiver: ways 0..d-1 of the target set; sender: ways d..N of
     // the same set (N+1-d blocks -> one more than the set holds).
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
-                                            false));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
+                                              false),
+                                      dsbLineUops());
     if (cfg_.stealthy) {
-        encodeZero_ = buildMixBlockChain(cfg_.senderBase, cfg_.altSet,
-                                         waySpan(cfg_.d,
-                                                 cfg_.N + 1 - cfg_.d,
-                                                 false));
+        encodeZero_ = prepareMixBlockChain(cfg_.senderBase, cfg_.altSet,
+                                           waySpan(cfg_.d,
+                                                   cfg_.N + 1 - cfg_.d,
+                                                   false),
+                                           dsbLineUops());
     }
 }
 
@@ -59,8 +62,8 @@ NonMtEvictionChannel::transmitBit(bool bit)
     chargeMeasurementOverhead(); // timer start
 
     // Init: receiver loop, p iterations.
-    core_.setProgram(kThread, &receiver_.program);
-    runLoopIters(core_, kThread, receiver_,
+    core_.setProgram(kThread, *receiver_);
+    runLoopIters(core_, kThread, *receiver_,
                  static_cast<std::uint64_t>(cfg_.initIters));
 
     // Interleaved Encode/Decode rounds (Sec. VI-A: the encode/decode
@@ -69,15 +72,15 @@ NonMtEvictionChannel::transmitBit(bool bit)
     for (int round = 0; round < cfg_.rounds; ++round) {
         core_.runCycles(sync); // sender phase handoff
         if (bit) {
-            core_.setProgram(kThread, &encodeOne_.program);
-            runLoopIters(core_, kThread, encodeOne_, 1);
+            core_.setProgram(kThread, *encodeOne_);
+            runLoopIters(core_, kThread, *encodeOne_, 1);
         } else if (cfg_.stealthy) {
-            core_.setProgram(kThread, &encodeZero_.program);
-            runLoopIters(core_, kThread, encodeZero_, 1);
+            core_.setProgram(kThread, *encodeZero_);
+            runLoopIters(core_, kThread, *encodeZero_, 1);
         }
         core_.runCycles(sync); // receiver phase handoff
-        core_.setProgram(kThread, &receiver_.program);
-        runLoopIters(core_, kThread, receiver_, 1);
+        core_.setProgram(kThread, *receiver_);
+        runLoopIters(core_, kThread, *receiver_, 1);
     }
 
     chargeMeasurementOverhead(); // timer stop
@@ -102,16 +105,19 @@ void
 NonMtMisalignmentChannel::setup()
 {
     lf_assert(cfg_.M > cfg_.d, "misalignment channel needs M > d");
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.M - cfg_.d,
-                                            true));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d, cfg_.M - cfg_.d,
+                                              true),
+                                      dsbLineUops());
     if (cfg_.stealthy) {
-        encodeZero_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                         waySpan(cfg_.d,
-                                                 cfg_.M - cfg_.d,
-                                                 false));
+        encodeZero_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                           waySpan(cfg_.d,
+                                                   cfg_.M - cfg_.d,
+                                                   false),
+                                           dsbLineUops());
     }
 }
 
@@ -121,23 +127,23 @@ NonMtMisalignmentChannel::transmitBit(bool bit)
     const Cycles start = core_.cycle();
     chargeMeasurementOverhead();
 
-    core_.setProgram(kThread, &receiver_.program);
-    runLoopIters(core_, kThread, receiver_,
+    core_.setProgram(kThread, *receiver_);
+    runLoopIters(core_, kThread, *receiver_,
                  static_cast<std::uint64_t>(cfg_.initIters));
 
     const Cycles sync = core_.model().noise.syncCycles;
     for (int round = 0; round < cfg_.rounds; ++round) {
         core_.runCycles(sync); // sender phase handoff
         if (bit) {
-            core_.setProgram(kThread, &encodeOne_.program);
-            runLoopIters(core_, kThread, encodeOne_, 1);
+            core_.setProgram(kThread, *encodeOne_);
+            runLoopIters(core_, kThread, *encodeOne_, 1);
         } else if (cfg_.stealthy) {
-            core_.setProgram(kThread, &encodeZero_.program);
-            runLoopIters(core_, kThread, encodeZero_, 1);
+            core_.setProgram(kThread, *encodeZero_);
+            runLoopIters(core_, kThread, *encodeZero_, 1);
         }
         core_.runCycles(sync); // receiver phase handoff
-        core_.setProgram(kThread, &receiver_.program);
-        runLoopIters(core_, kThread, receiver_, 1);
+        core_.setProgram(kThread, *receiver_);
+        runLoopIters(core_, kThread, *receiver_, 1);
     }
 
     chargeMeasurementOverhead();
@@ -160,9 +166,11 @@ SlowSwitchChannel::name() const
 void
 SlowSwitchChannel::setup()
 {
-    mixed_ = buildLcpAddLoop(cfg_.senderBase, LcpPattern::Mixed, cfg_.r);
-    ordered_ = buildLcpAddLoop(cfg_.senderBase + 0x10000,
-                               LcpPattern::Ordered, cfg_.r);
+    mixed_ = prepareLcpAddLoop(cfg_.senderBase, LcpPattern::Mixed, cfg_.r,
+                               dsbLineUops());
+    ordered_ = prepareLcpAddLoop(cfg_.senderBase + 0x10000,
+                                 LcpPattern::Ordered, cfg_.r,
+                                 dsbLineUops());
 }
 
 double
@@ -172,8 +180,8 @@ SlowSwitchChannel::transmitBit(bool bit)
     chargeMeasurementOverhead(); // Init: start the timer.
 
     // Encode: the LCP issue order carries the bit.
-    const ChainProgram &loop = bit ? mixed_ : ordered_;
-    core_.setProgram(kThread, &loop.program);
+    const PreparedChain &loop = bit ? *mixed_ : *ordered_;
+    core_.setProgram(kThread, loop);
     runLoopIters(core_, kThread, loop,
                  static_cast<std::uint64_t>(cfg_.rounds));
 

@@ -13,7 +13,7 @@
 #define LF_CORE_NONMT_CHANNELS_HH
 
 #include "core/channel.hh"
-#include "isa/mix_block.hh"
+#include "frontend/prepared.hh"
 
 namespace lf {
 
@@ -37,9 +37,9 @@ class NonMtEvictionChannel : public CovertChannel
     double transmitBit(bool bit) override;
 
   private:
-    ChainProgram receiver_;
-    ChainProgram encodeOne_;
-    ChainProgram encodeZero_; //!< Stealthy variant only.
+    PreparedChainPtr receiver_;
+    PreparedChainPtr encodeOne_;
+    PreparedChainPtr encodeZero_; //!< Stealthy variant only.
 };
 
 /**
@@ -60,9 +60,9 @@ class NonMtMisalignmentChannel : public CovertChannel
     double transmitBit(bool bit) override;
 
   private:
-    ChainProgram receiver_;
-    ChainProgram encodeOne_;
-    ChainProgram encodeZero_; //!< Stealthy variant only.
+    PreparedChainPtr receiver_;
+    PreparedChainPtr encodeOne_;
+    PreparedChainPtr encodeZero_; //!< Stealthy variant only.
 };
 
 /**
@@ -85,8 +85,8 @@ class SlowSwitchChannel : public CovertChannel
     double transmitBit(bool bit) override;
 
   private:
-    ChainProgram mixed_;
-    ChainProgram ordered_;
+    PreparedChainPtr mixed_;
+    PreparedChainPtr ordered_;
 };
 
 } // namespace lf

@@ -33,20 +33,20 @@ PowerChannelBase::transmitBit(bool bit)
     const MicroJoules e0 = core_.readRapl();
     const Cycles t0 = core_.cycle();
 
-    core_.setProgram(kThread, &receiver_.program);
-    runLoopIters(core_, kThread, receiver_,
+    core_.setProgram(kThread, *receiver_);
+    runLoopIters(core_, kThread, *receiver_,
                  static_cast<std::uint64_t>(cfg_.initIters));
 
     for (int round = 0; round < powerCfg_.rounds; ++round) {
         if (bit) {
-            core_.setProgram(kThread, &encodeOne_.program);
-            runLoopIters(core_, kThread, encodeOne_, 1);
+            core_.setProgram(kThread, *encodeOne_);
+            runLoopIters(core_, kThread, *encodeOne_, 1);
         } else if (cfg_.stealthy) {
-            core_.setProgram(kThread, &encodeZero_.program);
-            runLoopIters(core_, kThread, encodeZero_, 1);
+            core_.setProgram(kThread, *encodeZero_);
+            runLoopIters(core_, kThread, *encodeZero_, 1);
         }
-        core_.setProgram(kThread, &receiver_.program);
-        runLoopIters(core_, kThread, receiver_, 1);
+        core_.setProgram(kThread, *receiver_);
+        runLoopIters(core_, kThread, *receiver_, 1);
     }
 
     const MicroJoules e1 = core_.readRapl();
@@ -75,16 +75,20 @@ PowerEvictionChannel::name() const
 void
 PowerEvictionChannel::setup()
 {
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
-                                            false));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d,
+                                              cfg_.N + 1 - cfg_.d,
+                                              false),
+                                      dsbLineUops());
     if (cfg_.stealthy) {
-        encodeZero_ = buildMixBlockChain(cfg_.senderBase, cfg_.altSet,
-                                         waySpan(cfg_.d,
-                                                 cfg_.N + 1 - cfg_.d,
-                                                 false));
+        encodeZero_ = prepareMixBlockChain(cfg_.senderBase, cfg_.altSet,
+                                           waySpan(cfg_.d,
+                                                   cfg_.N + 1 - cfg_.d,
+                                                   false),
+                                           dsbLineUops());
     }
 }
 
@@ -105,16 +109,20 @@ void
 PowerMisalignmentChannel::setup()
 {
     lf_assert(cfg_.M > cfg_.d, "misalignment channel needs M > d");
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.M - cfg_.d,
-                                            true));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d, cfg_.M - cfg_.d,
+                                              true),
+                                      dsbLineUops());
     if (cfg_.stealthy) {
-        encodeZero_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                         waySpan(cfg_.d,
-                                                 cfg_.M - cfg_.d,
-                                                 false));
+        encodeZero_ = prepareMixBlockChain(cfg_.senderBase,
+                                           cfg_.targetSet,
+                                           waySpan(cfg_.d,
+                                                   cfg_.M - cfg_.d,
+                                                   false),
+                                           dsbLineUops());
     }
 }
 

@@ -14,7 +14,7 @@
 #define LF_CORE_POWER_CHANNELS_HH
 
 #include "core/channel.hh"
-#include "isa/mix_block.hh"
+#include "frontend/prepared.hh"
 
 namespace lf {
 
@@ -46,9 +46,9 @@ class PowerChannelBase : public CovertChannel
     static constexpr ThreadId kThread = 0;
 
     PowerChannelConfig powerCfg_;
-    ChainProgram receiver_;
-    ChainProgram encodeOne_;
-    ChainProgram encodeZero_; //!< Stealthy variant only.
+    PreparedChainPtr receiver_;
+    PreparedChainPtr encodeOne_;
+    PreparedChainPtr encodeZero_; //!< Stealthy variant only.
 };
 
 /** Power variant of the eviction channel (Table V, left column). */

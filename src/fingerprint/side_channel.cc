@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/trial_context.hh"
+#include "frontend/prepared.hh"
 #include "isa/mix_block.hh"
 #include "sim/core.hh"
 #include "sim/executor.hh"
@@ -81,9 +82,10 @@ attackerIpcTrace(const CpuModel &model, const VictimWorkload &victim,
     defense.arm(core);
     Rng rng(seed ^ 0xf17e5);
 
-    const ChainProgram attacker =
-        buildNopLoop(kAttackerBase, config.attackerNops);
-    core.setProgram(kAttacker, &attacker.program);
+    const PreparedChainPtr attacker = prepareNopLoop(
+        kAttackerBase, config.attackerNops,
+        core.model().frontend.dsbLineUops);
+    core.setProgram(kAttacker, *attacker);
 
     VictimDriver driver(core, victim, config.phaseJitterFrac, rng);
 
@@ -124,9 +126,10 @@ double
 attackerBaselineIpc(const CpuModel &model, const TraceConfig &config)
 {
     Core core(model, 7);
-    const ChainProgram attacker =
-        buildNopLoop(kAttackerBase, config.attackerNops);
-    core.setProgram(kAttacker, &attacker.program);
+    const PreparedChainPtr attacker = prepareNopLoop(
+        kAttackerBase, config.attackerNops,
+        core.model().frontend.dsbLineUops);
+    core.setProgram(kAttacker, *attacker);
     core.runCycles(20000);
     const std::uint64_t insts0 = core.counters(kAttacker).retiredInsts;
     const Cycles c0 = core.cycle();

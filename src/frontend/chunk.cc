@@ -1,46 +1,66 @@
 #include "frontend/chunk.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace lf {
 
-ChunkCache::ChunkCache(const Program *program, const FrontendParams &params)
-    : program_(program), lineUops_(params.dsbLineUops)
+ChunkTable::ChunkTable(const Program &program, int line_uops)
+    : lineUops_(line_uops)
 {
-    lf_assert(program_ != nullptr, "ChunkCache needs a program");
+    lf_assert(line_uops > 0, "chunk table needs a positive line size");
+
+    // One chunk per instruction start address; every possible fetch
+    // target is precomputed, so lookups never mutate the table.
+    const auto insts = program.instructions();
+    starts_.reserve(insts.size());
+    chunks_.reserve(insts.size());
+    std::vector<std::size_t> offsets;
+    offsets.reserve(insts.size());
+    for (const StaticInst *inst : insts) {
+        starts_.push_back(inst->addr);
+        offsets.push_back(flags_.size());
+        chunks_.push_back(build(program, inst->addr));
+    }
+    // The pool and the chunk array are final only now; resolve each
+    // chunk's flag span and successor pointers (both point into this
+    // table's own buffers, which is why copying is deleted).
+    for (std::size_t i = 0; i < chunks_.size(); ++i)
+        chunks_[i].endOfInst = flags_.data() + offsets[i];
+    for (Chunk &chunk : chunks_) {
+        chunk.fallChunk = get(chunk.fallThrough);
+        if (chunk.branchInst != nullptr) {
+            chunk.takenChunk = get(chunk.branchInst->target);
+            chunk.notTakenChunk = get(chunk.branchInst->nextAddr());
+        }
+    }
 }
 
 const Chunk *
-ChunkCache::get(Addr pc)
+ChunkTable::get(Addr pc) const
 {
-    auto it = cache_.find(pc);
-    if (it != cache_.end())
-        return it->second.insts.empty() && !it->second.halt
-            ? nullptr : &it->second;
-
-    if (!program_->contains(pc)) {
-        // Negative-cache the miss with an empty chunk.
-        cache_.emplace(pc, Chunk{});
+    const auto it = std::lower_bound(starts_.begin(), starts_.end(), pc);
+    if (it == starts_.end() || *it != pc)
         return nullptr;
-    }
-    auto [pos, inserted] = cache_.emplace(pc, build(pc));
-    return &pos->second;
+    return &chunks_[static_cast<std::size_t>(it - starts_.begin())];
 }
 
 Chunk
-ChunkCache::build(Addr pc) const
+ChunkTable::build(const Program &program, Addr pc)
 {
     Chunk chunk;
     chunk.start = pc;
     const Addr window_end = (pc & ~Addr{31}) + 32;
 
+    const StaticInst *last = nullptr;
     Addr cursor = pc;
     while (true) {
-        const StaticInst *inst = program_->at(cursor);
+        const StaticInst *inst = program.at(cursor);
         if (!inst)
             break;
         if (inst->isHalt()) {
-            if (chunk.insts.empty()) {
+            if (chunk.numInsts_ == 0) {
                 chunk.halt = true;
                 chunk.fallThrough = inst->nextAddr();
             }
@@ -48,35 +68,36 @@ ChunkCache::build(Addr pc) const
         }
         // Window rule: instructions belong to the chunk of the window
         // they *start* in (the entry instruction always qualifies).
-        if (!chunk.insts.empty() && inst->addr >= window_end)
+        if (chunk.numInsts_ > 0 && inst->addr >= window_end)
             break;
         // Line capacity rule: one chunk holds at most one line's uops.
-        if (chunk.uops + inst->uops > lineUops_ && !chunk.insts.empty())
+        if (chunk.uops + inst->uops > lineUops_ && chunk.numInsts_ > 0)
             break;
         // LCP rule: an LCP'd instruction re-syncs the predecoder and
         // always forms its own (uncacheable) chunk.
-        if (inst->lcp && !chunk.insts.empty())
+        if (inst->lcp && chunk.numInsts_ > 0)
             break;
-        chunk.insts.push_back(inst);
+        ++chunk.numInsts_;
+        last = inst;
         chunk.uops += inst->uops;
         for (int u = 0; u < inst->uops; ++u)
-            chunk.endOfInst.push_back(u + 1 == inst->uops);
+            flags_.push_back(u + 1 == inst->uops ? 1 : 0);
         if (inst->lcp)
             ++chunk.lcpCount;
         cursor = inst->nextAddr();
         if (inst->isBranch()) {
             chunk.endsBranch = true;
+            chunk.branchInst = inst;
             break;
         }
         if (inst->lcp)
             break; // LCP'd instruction stands alone
     }
 
-    if (!chunk.insts.empty()) {
-        chunk.bytes = static_cast<int>(
-            chunk.insts.back()->nextAddr() - chunk.start);
-        chunk.fallThrough = chunk.insts.back()->nextAddr();
-        lf_assert(chunk.uops <= lineUops_ || chunk.insts.size() == 1,
+    if (chunk.numInsts_ > 0) {
+        chunk.bytes = static_cast<int>(last->nextAddr() - chunk.start);
+        chunk.fallThrough = last->nextAddr();
+        lf_assert(chunk.uops <= lineUops_ || chunk.numInsts_ == 1,
                   "chunk at 0x%llx exceeds one line",
                   static_cast<unsigned long long>(pc));
     }

@@ -2,6 +2,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "frontend/prepared.hh"
 
 namespace lf {
 
@@ -28,14 +29,17 @@ FrontendEngine::reset(const FrontendParams &params)
     lastSlot_ = kNumThreads - 1;
     poisonDeadline_.assign(static_cast<std::size_t>(params.dsbSets), 0);
     blockClock_ = 0;
+    tableMemo_.clear();
     for (auto &ts : threads_) {
         ts.program = nullptr;
-        ts.chunks.reset();
+        ts.chunks = nullptr;
+        ts.localTable.reset();
         ts.pc = 0;
+        ts.nextChunk = nullptr;
         ts.halted = true;
         ts.stall = 0;
         ts.lastSource = DeliveryPath::MITE;
-        ts.idq.clear();
+        ts.idq.configure(params.idqEntries);
         ts.lsdActive = false;
         ts.lsdBody.clear();
         ts.lsdPos = 0;
@@ -45,7 +49,8 @@ FrontendEngine::reset(const FrontendParams &params)
         ts.prevChunkLcp = false;
         ts.pendingChunk = nullptr;
         ts.pendingFromDsb = false;
-        ts.condCounts.clear();
+        if (!ts.condCounts.empty())
+            ts.condCounts.clear();
         ts.counters = PerfCounters{};
     }
 }
@@ -81,14 +86,38 @@ FrontendEngine::lsdActive(ThreadId tid) const
     return state(tid).lsdActive;
 }
 
+const ChunkTable *
+FrontendEngine::resolveTable(ThreadState &ts, const Program *program,
+                             const ChunkTable *table)
+{
+    if (!program) {
+        ts.localTable.reset();
+        return nullptr;
+    }
+    if (!chunkTableReuseEnabled()) {
+        // Legacy rebind cost (bench baseline): re-decode the whole
+        // image on every bind, as the pre-PR-7 engine did. The decode
+        // is identical, only the work is repeated.
+        ts.localTable = std::make_unique<ChunkTable>(*program, params_);
+        return ts.localTable.get();
+    }
+    if (table)
+        return table;
+    auto &slot = tableMemo_[program->uid()];
+    if (!slot)
+        slot = std::make_unique<ChunkTable>(*program, params_);
+    return slot.get();
+}
+
 void
-FrontendEngine::setProgram(ThreadId tid, const Program *program)
+FrontendEngine::setProgram(ThreadId tid, const Program *program,
+                           const ChunkTable *table)
 {
     ThreadState &ts = state(tid);
     ts.program = program;
-    ts.chunks = program
-        ? std::make_unique<ChunkCache>(program, params_) : nullptr;
+    ts.chunks = resolveTable(ts, program, table);
     ts.pc = program ? program->entry() : 0;
+    ts.nextChunk = nullptr;
     ts.halted = (program == nullptr);
     ts.stall = 0;
     ts.lastSource = DeliveryPath::MITE;
@@ -102,7 +131,8 @@ FrontendEngine::setProgram(ThreadId tid, const Program *program)
     ts.prevChunkLcp = false;
     ts.pendingChunk = nullptr;
     ts.pendingFromDsb = false;
-    ts.condCounts.clear();
+    if (!ts.condCounts.empty())
+        ts.condCounts.clear();
 }
 
 void
@@ -136,8 +166,7 @@ FrontendEngine::deliverable(const ThreadState &ts) const
     if (!ts.program || ts.halted || ts.stall > 0)
         return false;
     // Require space for a worst-case chunk so delivery never splits.
-    return static_cast<int>(ts.idq.size()) + params_.dsbLineUops <=
-        params_.idqEntries;
+    return ts.idq.size() + params_.dsbLineUops <= params_.idqEntries;
 }
 
 void
@@ -197,7 +226,8 @@ FrontendEngine::deliver(ThreadId tid)
         deliverLsd(tid);
         return;
     }
-    const Chunk *chunk = ts.chunks->get(ts.pc);
+    const Chunk *chunk =
+        ts.nextChunk != nullptr ? ts.nextChunk : ts.chunks->get(ts.pc);
     if (!chunk || chunk->halt) {
         ts.halted = true;
         return;
@@ -280,7 +310,7 @@ FrontendEngine::deliverLsd(ThreadId tid)
     ThreadState &ts = state(tid);
     const std::size_t body_uops = ts.lsdBody.size();
     lf_assert(body_uops > 0, "LSD active with empty body");
-    const int space = params_.idqEntries - static_cast<int>(ts.idq.size());
+    const int space = params_.idqEntries - ts.idq.size();
     // A statically partitioned replay port streams at half width —
     // the thread keeps only its half even with the sibling idle.
     const int width = lsdStaticPartition_
@@ -288,8 +318,7 @@ FrontendEngine::deliverLsd(ThreadId tid)
     int n = std::min({width,
                       static_cast<int>(body_uops - ts.lsdPos), space});
     lf_assert(n > 0, "LSD delivery with no progress");
-    for (int i = 0; i < n; ++i)
-        ts.idq.push_back(ts.lsdBody[ts.lsdPos + static_cast<size_t>(i)]);
+    ts.idq.pushN(ts.lsdBody.data() + ts.lsdPos, n);
     ts.lsdPos += static_cast<std::size_t>(n);
     ts.counters.uopsLsd += static_cast<std::uint64_t>(n);
     ts.lastSource = DeliveryPath::LSD;
@@ -302,9 +331,7 @@ FrontendEngine::deliverLsd(ThreadId tid)
 void
 FrontendEngine::pushUops(ThreadId tid, const Chunk &chunk)
 {
-    ThreadState &ts = state(tid);
-    for (bool end : chunk.endOfInst)
-        ts.idq.push_back(end);
+    state(tid).idq.pushN(chunk.endOfInst, chunk.uops);
 }
 
 void
@@ -371,14 +398,19 @@ FrontendEngine::finishChunk(ThreadId tid, const Chunk &chunk,
 
     if (!chunk.endsBranch) {
         ts.pc = chunk.fallThrough;
+        ts.nextChunk = chunk.fallChunk;
         return;
     }
 
     const StaticInst *br = chunk.branch();
     bool taken = true;
     Addr next = br->target;
+    const Chunk *next_chunk = chunk.takenChunk;
     if (br->isCondBranch()) {
-        const std::uint64_t count = ts.condCounts[br->condId]++;
+        const auto cond = static_cast<std::size_t>(br->condId);
+        if (cond >= ts.condCounts.size())
+            ts.condCounts.resize(cond + 1, 0);
+        const std::uint64_t count = ts.condCounts[cond]++;
         taken = ts.program->evalCond(br->condId, count);
         const bool predicted = bpu_.predictCond(br->addr);
         bpu_.updateCond(br->addr, taken);
@@ -388,6 +420,8 @@ FrontendEngine::finishChunk(ThreadId tid, const Chunk &chunk,
             bpu_.noteCondMispredict();
         }
         next = taken ? br->target : br->nextAddr();
+        if (!taken)
+            next_chunk = chunk.notTakenChunk;
     }
 
     if (taken) {
@@ -401,11 +435,13 @@ FrontendEngine::finishChunk(ThreadId tid, const Chunk &chunk,
         const bool engage = ts.monitor.recordTakenBranch(br->addr, next);
         if (engage && lsdQualifies(tid)) {
             ts.pc = next;
+            ts.nextChunk = next_chunk;
             engageLsd(tid);
             return;
         }
     }
     ts.pc = next;
+    ts.nextChunk = next_chunk;
 }
 
 bool
@@ -431,8 +467,8 @@ FrontendEngine::engageLsd(ThreadId tid)
     for (Addr key : ts.monitor.bodyKeys()) {
         const Chunk *chunk = ts.chunks->get(key);
         lf_assert(chunk != nullptr, "LSD body chunk vanished");
-        ts.lsdBody.insert(ts.lsdBody.end(), chunk->endOfInst.begin(),
-                          chunk->endOfInst.end());
+        ts.lsdBody.insert(ts.lsdBody.end(), chunk->endOfInst,
+                          chunk->endOfInst + chunk->uops);
     }
     lf_assert(static_cast<int>(ts.lsdBody.size()) <=
               params_.lsdCapacityUops, "LSD body exceeds capacity");
@@ -451,6 +487,7 @@ FrontendEngine::flushLsd(ThreadId tid)
         // Restart the interrupted iteration from the loop head; the
         // LSD's in-flight position is lost with the flush.
         ts.pc = ts.lsdHead;
+        ts.nextChunk = nullptr;
         ts.lsdPos = 0;
         ts.nextIsBlockStart = true;
         ++ts.counters.lsdFlushes;
@@ -526,17 +563,11 @@ FrontendEngine::popUops(ThreadId tid, int max_uops,
                         std::uint64_t &insts_retired)
 {
     ThreadState &ts = state(tid);
-    int popped = 0;
-    while (popped < max_uops && !ts.idq.empty()) {
-        const bool end_of_inst = ts.idq.front();
-        ts.idq.pop_front();
-        ++popped;
-        ++ts.counters.retiredUops;
-        if (end_of_inst) {
-            ++ts.counters.retiredInsts;
-            ++insts_retired;
-        }
-    }
+    std::uint64_t insts = 0;
+    const int popped = ts.idq.popN(max_uops, insts);
+    ts.counters.retiredUops += static_cast<std::uint64_t>(popped);
+    ts.counters.retiredInsts += insts;
+    insts_retired += insts;
     return popped;
 }
 

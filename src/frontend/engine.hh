@@ -24,11 +24,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "frontend/bpu.hh"
 #include "frontend/chunk.hh"
@@ -41,6 +41,97 @@
 
 namespace lf {
 
+/**
+ * Fixed-capacity ring of per-micro-op end-of-instruction flags: the
+ * IDQ image. Replaces a std::deque<bool> on the delivery hot path —
+ * pushes and pops touch one flat byte buffer, and clearing between
+ * program rebinds is two index stores instead of a deque teardown.
+ *
+ * Storage is rounded up to a power of two so every index advance is a
+ * mask, and the bulk pushN()/popN() forms move a whole delivery line
+ * (or a whole cycle's retire budget) per call — the backend retires
+ * micro-ops in batches, not one virtual call each. The flags are 0/1
+ * by construction (ChunkTable and the LSD body both store literal
+ * end-of-instruction markers), so popN() counts instructions by
+ * summing bytes.
+ */
+class UopQueue
+{
+  public:
+    /** Size the buffer for @p capacity queued micro-ops. */
+    void configure(int capacity)
+    {
+        capacity_ = static_cast<std::size_t>(capacity);
+        std::size_t round = 1;
+        while (round < capacity_)
+            round <<= 1;
+        buf_.assign(round, 0);
+        mask_ = round - 1;
+        head_ = tail_ = size_ = 0;
+    }
+
+    void clear() { head_ = tail_ = size_ = 0; }
+    bool empty() const { return size_ == 0; }
+    int size() const { return static_cast<int>(size_); }
+
+    void push(std::uint8_t end_of_inst)
+    {
+        lf_assert(size_ < capacity_, "IDQ overflow");
+        buf_[tail_] = end_of_inst;
+        tail_ = (tail_ + 1) & mask_;
+        ++size_;
+    }
+
+    /** Append @p n flags (capacity-checked once, not per uop). */
+    void pushN(const std::uint8_t *flags, int n)
+    {
+        lf_assert(size_ + static_cast<std::size_t>(n) <= capacity_,
+                  "IDQ overflow");
+        std::size_t t = tail_;
+        for (int i = 0; i < n; ++i) {
+            buf_[t] = flags[i];
+            t = (t + 1) & mask_;
+        }
+        tail_ = t;
+        size_ += static_cast<std::size_t>(n);
+    }
+
+    std::uint8_t pop()
+    {
+        lf_assert(size_ > 0, "pop from empty IDQ");
+        const std::uint8_t flag = buf_[head_];
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        return flag;
+    }
+
+    /** Pop up to @p n flags; returns the number popped and adds the
+     *  end-of-instruction markers seen to @p insts. */
+    int popN(int n, std::uint64_t &insts)
+    {
+        const int have = static_cast<int>(size_);
+        const int take = n < have ? n : have;
+        std::uint64_t marks = 0;
+        std::size_t h = head_;
+        for (int i = 0; i < take; ++i) {
+            marks += buf_[h]; // flags are 0/1
+            h = (h + 1) & mask_;
+        }
+        head_ = h;
+        size_ -= static_cast<std::size_t>(take);
+        insts += marks;
+        return take;
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t mask_ = 0;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    std::size_t size_ = 0;
+};
+
 class FrontendEngine
 {
   public:
@@ -50,11 +141,29 @@ class FrontendEngine
 
     /** @name Thread program control */
     /// @{
-    /** Bind @p program to thread @p tid and reset its pipeline state
-     *  (pc = entry, LSD off, IDQ drained). Shared structures (DSB,
-     *  L1I, BPU) are untouched — their persistence across program
-     *  switches is what the attacks measure. */
-    void setProgram(ThreadId tid, const Program *program);
+    /**
+     * Bind @p program to thread @p tid and reset its pipeline state
+     * (pc = entry, LSD off, IDQ drained). Shared structures (DSB,
+     * L1I, BPU) are untouched — their persistence across program
+     * switches is what the attacks measure.
+     *
+     * The program's chunk decode is resolved in this order: a caller-
+     * supplied @p table (a prepared program's shared immutable
+     * decode), then the engine's per-run memo keyed by Program::uid()
+     * (so rebinding the same image never re-decodes it), and only
+     * then a fresh build. With setChunkTableReuseEnabled(false) every
+     * bind re-decodes — the pre-PR-7 cost the throughput bench uses
+     * as its baseline. Identical decode either way.
+     *
+     * A caller-supplied @p table must describe @p program and must
+     * outlive the binding (the PreparedChain contract).
+     */
+    void setProgram(ThreadId tid, const Program *program,
+                    const ChunkTable *table);
+    void setProgram(ThreadId tid, const Program *program)
+    {
+        setProgram(tid, program, nullptr);
+    }
 
     /** Unbind the thread (it becomes idle). */
     void clearProgram(ThreadId tid);
@@ -66,6 +175,47 @@ class FrontendEngine
 
     /** Advance the frontend by one core cycle. */
     void tick();
+
+    /**
+     * Number of upcoming cycles that are provably no-ops for the
+     * whole core — every IDQ is empty (the backend has nothing to
+     * pop) and no thread can deliver (each runnable thread is
+     * mid-stall): the minimum remaining stall across runnable
+     * threads, saturated at Cycles max when no thread is runnable at
+     * all. Returns 0 when the next cycle must be ticked normally.
+     * LCP/decode stall bursts — the very signal the channels
+     * maximize — spend most of their cycles in this state, so run
+     * loops fast-forward them via skipCycles() instead of ticking.
+     */
+    Cycles noOpCycles() const
+    {
+        Cycles burn = ~static_cast<Cycles>(0);
+        for (const ThreadState &ts : threads_) {
+            if (!ts.idq.empty())
+                return 0;
+            if (ts.program == nullptr || ts.halted)
+                continue;
+            if (ts.stall == 0)
+                return 0; // empty IDQ => space, so it delivers
+            burn = burn < ts.stall ? burn : ts.stall;
+        }
+        return burn;
+    }
+
+    /**
+     * Fast-forward @p cycles no-op cycles (caller checked
+     * noOpCycles() >= cycles): bump the clock and drain stalls —
+     * exactly what that many tick() calls would have done. Stalls of
+     * non-runnable threads saturate at zero (their decay is
+     * unobservable; setProgram() resets stall before a thread can
+     * run again).
+     */
+    void skipCycles(Cycles cycles)
+    {
+        cycle_ += cycles;
+        for (ThreadState &ts : threads_)
+            ts.stall -= ts.stall < cycles ? ts.stall : cycles;
+    }
 
     /**
      * Reinitialize to the pristine post-construction state for
@@ -143,18 +293,26 @@ class FrontendEngine
         explicit ThreadState(const FrontendParams &params)
             : monitor(params)
         {
+            idq.configure(params.idqEntries);
         }
 
         const Program *program = nullptr;
-        std::unique_ptr<ChunkCache> chunks;
+        /** Active decode; points at a caller table, a tableMemo_
+         *  entry, or localTable. */
+        const ChunkTable *chunks = nullptr;
+        /** Fresh-per-bind decode used when table reuse is disabled. */
+        std::unique_ptr<ChunkTable> localTable;
         Addr pc = 0;
+        /** chunks->get(pc), when the last chunk's successor pointer
+         *  already resolved it; null forces a table lookup. */
+        const Chunk *nextChunk = nullptr;
         bool halted = true;
         Cycles stall = 0;
         DeliveryPath lastSource = DeliveryPath::MITE;
-        std::deque<bool> idq; //!< end-of-instruction flag per uop
+        UopQueue idq; //!< end-of-instruction flag per uop
 
         bool lsdActive = false;
-        std::vector<bool> lsdBody; //!< end-of-inst flag per body uop
+        std::vector<std::uint8_t> lsdBody; //!< end-of-inst flag per body uop
         std::size_t lsdPos = 0;
         Addr lsdHead = 0;
 
@@ -166,13 +324,18 @@ class FrontendEngine
          *  its micro-ops deliver when the stall drains. */
         const Chunk *pendingChunk = nullptr;
         bool pendingFromDsb = false;
-        std::unordered_map<int, std::uint64_t> condCounts;
+        /** Dynamic execution count per conditional-branch condId
+         *  (small caller-chosen ints, so a flat array beats a hash
+         *  map on the per-branch path; grown on demand). */
+        std::vector<std::uint64_t> condCounts;
         PerfCounters counters;
     };
 
     ThreadState &state(ThreadId tid);
     const ThreadState &state(ThreadId tid) const;
 
+    const ChunkTable *resolveTable(ThreadState &ts, const Program *program,
+                                   const ChunkTable *table);
     bool deliverable(const ThreadState &ts) const;
     void deliver(ThreadId tid);
     void deliverLsd(ThreadId tid);
@@ -199,6 +362,12 @@ class FrontendEngine
     std::array<ThreadState, kNumThreads> threads_;
     Cycles cycle_ = 0;
     int lastSlot_ = kNumThreads - 1;
+
+    /** Decodes built for plain setProgram(tid, program) binds, keyed
+     *  by Program::uid() (never reused, so entries cannot alias a new
+     *  image). Cleared on reset(), i.e. once per trial. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<ChunkTable>>
+        tableMemo_;
 
     /** Misalignment poison per (full-index) DSB set: the block clock
      *  value at which the poison expires. */

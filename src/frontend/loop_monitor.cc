@@ -63,33 +63,36 @@ LoopMonitor::recordTakenBranch(Addr branch_addr, Addr target)
         return false;
     }
 
-    // An iteration of the candidate just closed.
-    std::vector<Addr> keys;
-    keys.reserve(accum_.size());
+    // An iteration of the candidate just closed. The key list is
+    // built into a reused scratch buffer and swapped into lastKeys_ —
+    // loop bodies close once per iteration on the hot path, and the
+    // steady state must not allocate.
+    scratchKeys_.clear();
     int uops = 0;
     bool all_dsb = true;
     for (const auto &record : accum_) {
-        keys.push_back(record.key);
+        scratchKeys_.push_back(record.key);
         uops += record.uops;
         all_dsb = all_dsb && record.fromDsb;
     }
 
-    if (!keys.empty() && keys == lastKeys_)
+    if (!scratchKeys_.empty() && scratchKeys_ == lastKeys_)
         ++stableIters_;
     else
-        stableIters_ = keys.empty() ? 0 : 1;
-    lastKeys_ = keys;
+        stableIters_ = scratchKeys_.empty() ? 0 : 1;
+    lastKeys_.swap(scratchKeys_);
 
     int aligned = 0;
     int misaligned = 0;
     census(aligned, misaligned);
 
-    const bool qualified = !keys.empty() && uops <= capacityUops_ &&
-        all_dsb && !alignmentCollides(aligned, misaligned);
+    const bool qualified = !lastKeys_.empty() &&
+        uops <= capacityUops_ && all_dsb &&
+        !alignmentCollides(aligned, misaligned);
 
     const bool engage = qualified && stableIters_ >= warmupIters_;
     if (engage) {
-        bodyKeys_ = keys;
+        bodyKeys_ = lastKeys_;
         bodyUops_ = uops;
     }
     accum_.clear();

@@ -95,6 +95,8 @@ class LoopMonitor
     int stableIters_ = 0;
     std::vector<ChunkRecord> accum_;
     std::vector<Addr> lastKeys_;
+    /** Reused key-list build buffer (recordTakenBranch hot path). */
+    std::vector<Addr> scratchKeys_;
     std::vector<Addr> bodyKeys_;
     int bodyUops_ = 0;
 };

@@ -1,38 +1,118 @@
 #include "isa/program.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "common/logging.hh"
 
 namespace lf {
 
+namespace {
+
+/** lower_bound over the sorted image by instruction start address. */
+inline std::vector<StaticInst>::const_iterator
+lowerBound(const std::vector<StaticInst> &insts, Addr addr)
+{
+    return std::lower_bound(insts.begin(), insts.end(), addr,
+                            [](const StaticInst &inst, Addr a) {
+                                return inst.addr < a;
+                            });
+}
+
+} // namespace
+
+std::uint64_t
+Program::nextUid()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Program::Program() : uid_(nextUid())
+{
+}
+
+Program::Program(const Program &other)
+    : insts_(other.insts_), uid_(nextUid()), entry_(other.entry_),
+      hasEntry_(other.hasEntry_), condFn_(other.condFn_)
+{
+}
+
+Program::Program(Program &&other) noexcept
+    : insts_(std::move(other.insts_)), uid_(other.uid_),
+      entry_(other.entry_), hasEntry_(other.hasEntry_),
+      condFn_(std::move(other.condFn_))
+{
+    // The moved-from object is still a valid Program; it must not
+    // alias the uid its instructions left with.
+    other.uid_ = nextUid();
+    other.insts_.clear();
+    other.hasEntry_ = false;
+}
+
+Program &
+Program::operator=(const Program &other)
+{
+    if (this != &other) {
+        insts_ = other.insts_;
+        uid_ = nextUid();
+        entry_ = other.entry_;
+        hasEntry_ = other.hasEntry_;
+        condFn_ = other.condFn_;
+    }
+    return *this;
+}
+
+Program &
+Program::operator=(Program &&other) noexcept
+{
+    if (this != &other) {
+        insts_ = std::move(other.insts_);
+        uid_ = other.uid_;
+        entry_ = other.entry_;
+        hasEntry_ = other.hasEntry_;
+        condFn_ = std::move(other.condFn_);
+        other.uid_ = nextUid();
+        other.insts_.clear();
+        other.hasEntry_ = false;
+    }
+    return *this;
+}
+
 void
 Program::add(const StaticInst &inst)
 {
+    auto it = lowerBound(insts_, inst.addr);
     // Reject overlap with the previous instruction...
-    auto it = byAddr_.upper_bound(inst.addr);
-    if (it != byAddr_.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second.nextAddr() > inst.addr) {
+    if (it != insts_.begin()) {
+        const StaticInst &prev = *std::prev(it);
+        if (prev.nextAddr() > inst.addr) {
             lf_panic("instruction at 0x%llx overlaps %s",
                      static_cast<unsigned long long>(inst.addr),
-                     prev->second.toString().c_str());
+                     prev.toString().c_str());
         }
     }
-    // ...and with the next one.
-    if (it != byAddr_.end() && inst.nextAddr() > it->second.addr) {
+    // ...and with the next one (an exact duplicate address also lands
+    // here, since both instructions have nonzero length).
+    if (it != insts_.end() && inst.nextAddr() > it->addr) {
         lf_panic("instruction at 0x%llx overlaps %s",
                  static_cast<unsigned long long>(inst.addr),
-                 it->second.toString().c_str());
+                 it->toString().c_str());
     }
-    byAddr_.emplace(inst.addr, inst);
+    insts_.insert(it, inst);
+    // Mutation invalidates any decode state memoised against the old
+    // image; a fresh uid keeps stale cache entries unmatchable.
+    uid_ = nextUid();
 }
 
 const StaticInst *
 Program::at(Addr addr) const
 {
-    auto it = byAddr_.find(addr);
-    return it == byAddr_.end() ? nullptr : &it->second;
+    auto it = lowerBound(insts_, addr);
+    if (it == insts_.end() || it->addr != addr)
+        return nullptr;
+    return &*it;
 }
 
 Addr
@@ -40,25 +120,23 @@ Program::entry() const
 {
     if (hasEntry_)
         return entry_;
-    lf_assert(!byAddr_.empty(), "entry() of an empty program");
-    return byAddr_.begin()->first;
+    lf_assert(!insts_.empty(), "entry() of an empty program");
+    return insts_.front().addr;
 }
 
 std::uint64_t
 Program::byteSpan() const
 {
-    if (byAddr_.empty())
+    if (insts_.empty())
         return 0;
-    const Addr lo = byAddr_.begin()->first;
-    const Addr hi = byAddr_.rbegin()->second.nextAddr();
-    return hi - lo;
+    return insts_.back().nextAddr() - insts_.front().addr;
 }
 
 std::uint64_t
 Program::totalUops() const
 {
     std::uint64_t total = 0;
-    for (const auto &[addr, inst] : byAddr_)
+    for (const StaticInst &inst : insts_)
         total += inst.uops;
     return total;
 }
@@ -75,8 +153,8 @@ std::vector<const StaticInst *>
 Program::instructions() const
 {
     std::vector<const StaticInst *> out;
-    out.reserve(byAddr_.size());
-    for (const auto &[addr, inst] : byAddr_)
+    out.reserve(insts_.size());
+    for (const StaticInst &inst : insts_)
         out.push_back(&inst);
     return out;
 }
@@ -85,7 +163,7 @@ std::string
 Program::disassemble() const
 {
     std::ostringstream out;
-    for (const auto &[addr, inst] : byAddr_)
+    for (const StaticInst &inst : insts_)
         out << inst.toString() << '\n';
     return out.str();
 }

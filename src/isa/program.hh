@@ -7,8 +7,8 @@
 #ifndef LF_ISA_PROGRAM_HH
 #define LF_ISA_PROGRAM_HH
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,9 +22,17 @@ namespace lf {
  * An immutable-after-build instruction image.
  *
  * Instructions live at explicit virtual addresses; the frontend fetches
- * by address, so overlapping instructions are a build error. JCC
- * conditions are resolved through a user-supplied callback keyed by
- * the instruction's condId (defaults to never-taken).
+ * by address, so overlapping instructions are a build error. The image
+ * is a flat address-sorted vector — at() is a binary search over
+ * contiguous memory, not a node-based map walk, because the frontend
+ * calls it once per decoded instruction. JCC conditions are resolved
+ * through a user-supplied callback keyed by the instruction's condId
+ * (defaults to never-taken).
+ *
+ * Every Program object carries a process-unique id (uid). Copies get a
+ * fresh uid, moves keep theirs, and uids are never reused, so
+ * downstream decode caches (the frontend's chunk tables) can memoise
+ * by uid without risking aliasing through recycled pointers.
  */
 class Program
 {
@@ -32,7 +40,11 @@ class Program
     /** Condition callback: (condId, dynamic execution count) -> taken. */
     using CondFn = std::function<bool(int cond_id, std::uint64_t count)>;
 
-    Program() = default;
+    Program();
+    Program(const Program &other);
+    Program(Program &&other) noexcept;
+    Program &operator=(const Program &other);
+    Program &operator=(Program &&other) noexcept;
 
     /** Add an instruction; addresses must not overlap. */
     void add(const StaticInst &inst);
@@ -47,8 +59,11 @@ class Program
     Addr entry() const;
     void setEntry(Addr addr) { entry_ = addr; hasEntry_ = true; }
 
-    std::size_t numInsts() const { return byAddr_.size(); }
-    bool empty() const { return byAddr_.empty(); }
+    std::size_t numInsts() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    /** Process-unique identity of this image (see class comment). */
+    std::uint64_t uid() const { return uid_; }
 
     /** Total bytes spanned, highest end minus lowest start. */
     std::uint64_t byteSpan() const;
@@ -67,7 +82,10 @@ class Program
     std::string disassemble() const;
 
   private:
-    std::map<Addr, StaticInst> byAddr_;
+    static std::uint64_t nextUid();
+
+    std::vector<StaticInst> insts_; //!< Sorted by addr.
+    std::uint64_t uid_;
     Addr entry_ = 0;
     bool hasEntry_ = false;
     CondFn condFn_;

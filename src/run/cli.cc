@@ -236,41 +236,107 @@ renderOverrideKeyCatalog()
     return os.str();
 }
 
+namespace {
+
+/** Span of the moving rate window (seconds). */
+constexpr double kRateWindowSeconds = 5.0;
+/** Samples closer together than this coalesce, bounding the window
+ *  deque even when update() is called per row in a tight loop. */
+constexpr double kSampleSpacingSeconds = 0.02;
+
+} // namespace
+
 ProgressMeter::ProgressMeter(std::string label, std::size_t total)
-    : label_(std::move(label)), total_(total),
-      start_(std::chrono::steady_clock::now()), lastUpdate_(start_)
+    : label_(std::move(label)), total_(total), sink_(stderr),
+      lastUpdate_(std::chrono::steady_clock::now())
 {
+}
+
+std::chrono::steady_clock::time_point
+ProgressMeter::now() const
+{
+    return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
+void
+ProgressMeter::setClock(Clock clock)
+{
+    clock_ = std::move(clock);
+    lastUpdate_ = now();
+    samples_.clear();
+    drew_ = false;
+    finalDrawn_ = false;
+    rate_ = 0.0;
+    eta_ = 0.0;
+}
+
+void
+ProgressMeter::setSink(std::FILE *sink)
+{
+    sink_ = sink;
+}
+
+void
+ProgressMeter::recomputeRate(std::chrono::steady_clock::time_point t,
+                             std::size_t done)
+{
+    const auto seconds = [](auto span) {
+        return std::chrono::duration<double>(span).count();
+    };
+    // Coalesce near-coincident samples (but never the baseline
+    // sample itself, or a burst would erase its own starting point).
+    if (samples_.size() >= 2 &&
+        seconds(t - samples_.back().first) < kSampleSpacingSeconds) {
+        samples_.back() = {t, done};
+    } else {
+        samples_.emplace_back(t, done);
+    }
+    // Trim to the window, always keeping two samples so the rate has
+    // a baseline to difference against.
+    while (samples_.size() > 2 &&
+           seconds(t - samples_.front().first) > kRateWindowSeconds) {
+        samples_.pop_front();
+    }
+    const double span = seconds(t - samples_.front().first);
+    const std::size_t base = samples_.front().second;
+    rate_ = span > 0.0 && done > base
+        ? static_cast<double>(done - base) / span
+        : 0.0;
+    const std::size_t left = done < total_ ? total_ - done : 0;
+    eta_ = rate_ > 0.0 ? static_cast<double>(left) / rate_ : 0.0;
 }
 
 void
 ProgressMeter::update(std::size_t done, const std::string &extra)
 {
-    const auto now = std::chrono::steady_clock::now();
+    const auto t = now();
+    recomputeRate(t, done);
+
+    // Throttled redraw, with one guaranteed (but only one — a caller
+    // looping on the final count must not spam) final draw.
+    const bool final_draw = done >= total_ && !finalDrawn_;
     const double sinceUpdate =
-        std::chrono::duration<double>(now - lastUpdate_).count();
-    if (sinceUpdate < 0.1 && done != total_ && drew_)
+        std::chrono::duration<double>(t - lastUpdate_).count();
+    if (drew_ && sinceUpdate < 0.1 && !final_draw)
         return;
-    lastUpdate_ = now;
+    if (done >= total_)
+        finalDrawn_ = true;
+    lastUpdate_ = t;
     drew_ = true;
-    const double elapsed =
-        std::chrono::duration<double>(now - start_).count();
-    const double rate =
-        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
-    const double eta = rate > 0.0
-        ? static_cast<double>(total_ - done) / rate
-        : 0.0;
-    std::fprintf(stderr, "\r[%s] %zu/%zu trials  %.1f trials/s"
+    if (sink_ == nullptr)
+        return;
+    std::fprintf(sink_, "\r[%s] %zu/%zu trials  %.1f trials/s"
                  "  ETA %.0fs%s%s ",
-                 label_.c_str(), done, total_, rate, eta,
+                 label_.c_str(), done, total_, rate_, eta_,
                  extra.empty() ? "" : "  ", extra.c_str());
-    std::fflush(stderr);
+    std::fflush(sink_);
 }
 
 void
 ProgressMeter::finish()
 {
-    if (drew_)
-        std::fprintf(stderr, "\n");
+    if (drew_ && sink_ != nullptr)
+        std::fprintf(sink_, "\n");
     drew_ = false;
 }
 

@@ -15,8 +15,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "run/sweep.hh"
 
@@ -76,20 +80,66 @@ class ProgressMeter
      *  count the ETA is computed against. */
     ProgressMeter(std::string label, std::size_t total);
 
-    /** Report @p done items complete (monotonic). Redraws at most
-     *  every 0.1 s (and always for the final item). @p extra is
-     *  appended verbatim to the line. */
+    /** Injectable time source for tests (default: steady_clock).
+     *  Install before the first update(); installing one restarts
+     *  the meter. */
+    using Clock =
+        std::function<std::chrono::steady_clock::time_point()>;
+    void setClock(Clock clock);
+
+    /** Redirect the drawn line (default: stderr). Tests point this
+     *  at a tmpfile; null suppresses drawing entirely (the rate/ETA
+     *  getters still update). */
+    void setSink(std::FILE *sink);
+
+    /**
+     * Report @p done items complete (monotonic). Redraws at most
+     * every 0.1 s, plus exactly one unthrottled final redraw when
+     * @p done first reaches the total (repeat final updates fall
+     * back to the throttle instead of spamming the line). @p extra
+     * is appended verbatim to the line.
+     *
+     * The displayed rate is a moving-window average (~5 s of recent
+     * samples), not the lifetime mean: after a burst — e.g. a
+     * resumed campaign replaying thousands of cached rows in
+     * milliseconds — a lifetime rate would keep promising an
+     * absurdly near ETA for the rest of the run. Every call feeds
+     * the window, throttled or not, so bursts between redraws still
+     * shape the next drawn rate.
+     */
     void update(std::size_t done, const std::string &extra = "");
 
     /** Terminate the progress line (newline) if anything was drawn. */
     void finish();
 
+    /** @name Last computed values (for tests and callers) */
+    /// @{
+    /** Windowed trials/s as of the last update (0 until the window
+     *  spans any time). */
+    double rate() const { return rate_; }
+    /** Remaining-work estimate in seconds from the windowed rate
+     *  (0 while the rate is 0). */
+    double etaSeconds() const { return eta_; }
+    /// @}
+
   private:
+    std::chrono::steady_clock::time_point now() const;
+    void recomputeRate(std::chrono::steady_clock::time_point t,
+                       std::size_t done);
+
     std::string label_;
     std::size_t total_;
+    std::FILE *sink_;
+    Clock clock_; //!< Null: use steady_clock directly.
     bool drew_ = false;
-    std::chrono::steady_clock::time_point start_;
+    bool finalDrawn_ = false;
+    double rate_ = 0.0;
+    double eta_ = 0.0;
     std::chrono::steady_clock::time_point lastUpdate_;
+    /** (time, done) samples covering the rate window. */
+    std::deque<std::pair<std::chrono::steady_clock::time_point,
+                         std::size_t>>
+        samples_;
 };
 
 /**

@@ -1,9 +1,11 @@
 #include "run/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -31,6 +33,28 @@ runOne(const ExperimentSpec &spec, TrialContext *ctx)
     }
 }
 
+/**
+ * One completion slot of the reorder ring (Vyukov bounded-queue
+ * style). Ticket i lives in slot i % window, and the slot's `seq`
+ * encodes its state:
+ *
+ *   seq == i              free for the producer of ticket i
+ *                         (initially seq == slot index; the consumer
+ *                         recycles a consumed slot to i + window);
+ *   seq == i + 1          ticket i's result is published and ready.
+ *
+ * The producer claims by observing seq == i, writes `result`, and
+ * publishes with seq = i + 1; the consumer observes readiness, moves
+ * the result out, and recycles with seq = i + window. seq is the only
+ * synchronisation on the hot path — the mutex below is touched only
+ * to park.
+ */
+struct alignas(64) Slot
+{
+    std::atomic<std::uint64_t> seq{0};
+    ExperimentResult result;
+};
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(int threads) : threads_(threads)
@@ -39,6 +63,16 @@ ExperimentRunner::ExperimentRunner(int threads) : threads_(threads)
         const unsigned hw = std::thread::hardware_concurrency();
         threads_ = hw > 0 ? static_cast<int>(hw) : 1;
     }
+}
+
+std::size_t
+ExperimentRunner::reorderWindowFor(int workers)
+{
+    // Large enough that workers keep streaming while the consumer
+    // handles a burst, small enough that in-flight memory stays
+    // O(threads).
+    return std::max<std::size_t>(
+        64, static_cast<std::size_t>(workers < 1 ? 1 : workers) * 8);
 }
 
 void
@@ -50,58 +84,90 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
     if (specs.empty())
         return;
 
+    const std::size_t n = specs.size();
     const int workers = static_cast<int>(
-        std::min<std::size_t>(specs.size(),
-                              static_cast<std::size_t>(threads_)));
+        std::min<std::size_t>(n, static_cast<std::size_t>(threads_)));
 
     if (workers <= 1) {
         // Single-threaded: compute and deliver inline. Both stream
         // orders coincide with spec order.
         TrialContext ctx;
         TrialContext *reuse = coreReuse_ ? &ctx : nullptr;
-        for (const ExperimentSpec &spec : specs)
-            on_result(runOne(spec, reuse));
+        for (std::size_t i = 0; i < n; ++i) {
+            if (trialProbe_)
+                trialProbe_(i, i);
+            on_result(runOne(specs[i], reuse));
+        }
+        if (statsSink_ != nullptr)
+            *statsSink_ = StreamStats{};
         return;
     }
 
-    // Workers claim spec indices through an atomic counter and park
-    // finished results in `completed`; the calling thread is the only
-    // consumer, delivering either in spec order (holding back
-    // out-of-order finishers) or as they land. The reorder window
-    // bounds how far workers run ahead of delivery, so memory stays
-    // O(threads + window) however large the batch is.
-    const std::size_t window =
-        std::max<std::size_t>(64, static_cast<std::size_t>(workers) * 8);
+    // Workers claim spec indices through an atomic ticket counter and
+    // publish into a ring of completion slots; the calling thread is
+    // the only consumer, delivering either in spec order or as
+    // results land. The ring bounds how far workers run ahead of
+    // delivery, so memory stays O(threads + window) however large the
+    // batch is. All steady-state coordination is the per-slot seq
+    // atomics; `mutex` and the condvars exist only to park, and the
+    // Dekker-style flags below (`consumerParked`, `blockedWorkers`)
+    // make every wakeup conditional on somebody actually sleeping:
+    //  - producer publishes seq (seq_cst), then loads consumerParked;
+    //    the consumer stores consumerParked (seq_cst), then re-checks
+    //    seq — at least one side observes the other, so the consumer
+    //    never sleeps through a publish;
+    //  - symmetrically, a worker bumps blockedWorkers (seq_cst), then
+    //    re-checks its slot; the consumer recycles seq (seq_cst),
+    //    then loads blockedWorkers — a recycle never goes unnoticed.
+    const std::size_t window = reorderWindowFor(workers);
+
+    auto slots = std::make_unique<Slot[]>(window);
+    for (std::size_t k = 0; k < window; ++k)
+        slots[k].seq.store(k, std::memory_order_relaxed);
 
     std::mutex mutex;
-    std::condition_variable resultReady;
-    std::condition_variable windowSpace;
-    std::map<std::size_t, ExperimentResult> completed;
-    std::size_t delivered = 0;
-    std::atomic<std::size_t> next{0};
+    std::condition_variable resultReady; // consumer parks here
+    std::condition_variable slotFree;    // workers park here
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> delivered{0};
     std::atomic<bool> cancelled{false};
+    std::atomic<bool> consumerParked{false};
+    std::atomic<int> blockedWorkers{0};
+    std::atomic<std::uint64_t> workerParks{0};
+    std::atomic<std::uint64_t> consumerParks{0};
+    std::atomic<std::uint64_t> wakeBroadcasts{0};
 
     auto work = [&]() {
         TrialContext ctx;
         TrialContext *reuse = coreReuse_ ? &ctx : nullptr;
         for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= specs.size())
+            const std::uint64_t i = next.fetch_add(1);
+            if (i >= n)
                 return;
-            {
+            Slot &slot = slots[i % window];
+            if (slot.seq.load() != i) {
+                // A full window ahead of delivery: park until the
+                // consumer recycles this slot.
                 std::unique_lock<std::mutex> lock(mutex);
-                windowSpace.wait(lock, [&] {
-                    return i < delivered + window || cancelled.load();
+                workerParks.fetch_add(1, std::memory_order_relaxed);
+                blockedWorkers.fetch_add(1);
+                slotFree.wait(lock, [&] {
+                    return slot.seq.load() == i || cancelled.load();
                 });
+                blockedWorkers.fetch_sub(1);
             }
             if (cancelled.load())
                 return;
-            ExperimentResult result = runOne(specs[i], reuse);
-            {
+            if (trialProbe_)
+                trialProbe_(i, delivered.load());
+            slot.result = runOne(specs[i], reuse);
+            slot.seq.store(i + 1); // publish (seq_cst)
+            if (consumerParked.load()) {
+                // One consumer; taking the mutex serialises with its
+                // wait entry so the notify cannot be lost.
                 std::lock_guard<std::mutex> lock(mutex);
-                completed.emplace(i, std::move(result));
+                resultReady.notify_one();
             }
-            resultReady.notify_one();
         }
     };
 
@@ -112,30 +178,81 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
 
     const auto shutdown = [&]() {
         cancelled.store(true);
-        next.store(specs.size());
-        windowSpace.notify_all();
+        next.store(n); // no new tickets
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            slotFree.notify_all();
+        }
         for (std::thread &thread : pool)
             thread.join();
     };
 
+    // Park until pred() holds. pred reads only atomics, so checking
+    // it outside the mutex first keeps the fast path lock-free; the
+    // consumerParked handshake (see above) closes the sleep race.
+    const auto consumerWait = [&](auto &&pred) {
+        if (pred())
+            return;
+        consumerParked.store(true);
+        consumerParks.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            resultReady.wait(lock, pred);
+        }
+        consumerParked.store(false);
+    };
+
+    // Hand one published slot to the callback. The slot is recycled
+    // *before* the callback runs so workers stream on while the
+    // consumer writes rows; at most the genuinely parked workers are
+    // woken (notify_all because they park on distinct slots — the
+    // non-matching ones re-check their seq and sleep again).
+    const auto deliver = [&](Slot &slot, std::uint64_t recycled_seq) {
+        ExperimentResult result = std::move(slot.result);
+        slot.result = ExperimentResult{};
+        delivered.fetch_add(1);
+        slot.seq.store(recycled_seq); // recycle (seq_cst)
+        if (blockedWorkers.load() > 0) {
+            wakeBroadcasts.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex);
+            slotFree.notify_all();
+        }
+        on_result(result);
+    };
+
     try {
-        std::unique_lock<std::mutex> lock(mutex);
-        while (delivered < specs.size()) {
-            resultReady.wait(lock, [&] {
-                if (completed.empty())
+        if (order == StreamOrder::SpecOrder) {
+            for (std::uint64_t d = 0; d < n; ++d) {
+                Slot &slot = slots[d % window];
+                consumerWait([&] { return slot.seq.load() == d + 1; });
+                deliver(slot, d + window);
+            }
+        } else {
+            // Completion order: collect any published slot. Slot k
+            // holds a ready ticket t (t % window == k) exactly when
+            // seq == t + 1, i.e. seq % window == (k + 1) % window.
+            const auto readyTicket = [&](std::size_t k) -> std::int64_t {
+                const std::uint64_t s = slots[k].seq.load();
+                if (s % window == (k + 1) % window)
+                    return static_cast<std::int64_t>(s - 1);
+                return -1;
+            };
+            std::uint64_t count = 0;
+            while (count < n) {
+                std::size_t k = 0;
+                consumerWait([&] {
+                    for (std::size_t j = 0; j < window; ++j) {
+                        if (readyTicket(j) >= 0) {
+                            k = j;
+                            return true;
+                        }
+                    }
                     return false;
-                return order == StreamOrder::Completion ||
-                    completed.begin()->first == delivered;
-            });
-            while (!completed.empty() &&
-                   (order == StreamOrder::Completion ||
-                    completed.begin()->first == delivered)) {
-                auto node = completed.extract(completed.begin());
-                ++delivered;
-                windowSpace.notify_all();
-                lock.unlock();
-                on_result(node.mapped());
-                lock.lock();
+                });
+                const std::uint64_t ticket =
+                    static_cast<std::uint64_t>(readyTicket(k));
+                deliver(slots[k], ticket + window);
+                ++count;
             }
         }
     } catch (...) {
@@ -143,6 +260,11 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
         throw;
     }
     shutdown();
+    if (statsSink_ != nullptr) {
+        statsSink_->workerParks = workerParks.load();
+        statsSink_->consumerParks = consumerParks.load();
+        statsSink_->wakeBroadcasts = wakeBroadcasts.load();
+    }
 }
 
 std::vector<ExperimentResult>

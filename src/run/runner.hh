@@ -20,11 +20,23 @@
  * bounded reorder window keeps workers from racing unboundedly ahead
  * of a slow consumer. The batch run() overload is a thin wrapper that
  * collects the stream into a vector.
+ *
+ * The reorder window is a ring of completion slots, one per in-flight
+ * ticket (see runner.cc for the claim protocol). Workers publish and
+ * the consumer collects through per-slot atomics; the shared mutex
+ * and condition variables are touched only when a thread actually has
+ * to park — a worker because its slot has not been recycled yet (it
+ * is a full window ahead of delivery), the consumer because the next
+ * result is not in yet. On the contended path of the old
+ * implementation every delivered row broadcast to every worker; now a
+ * delivery signals at most the workers that are genuinely blocked,
+ * and an idle window costs no wakeups at all.
  */
 
 #ifndef LF_RUN_RUNNER_HH
 #define LF_RUN_RUNNER_HH
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -45,6 +57,21 @@ enum class StreamOrder
     Completion,
 };
 
+/** Coordination counters of one streaming run() (diagnostics: the
+ *  throughput bench emits them and gates against wakeup storms). */
+struct StreamStats
+{
+    /** Times a worker blocked because it was a full reorder window
+     *  ahead of delivery. */
+    std::uint64_t workerParks = 0;
+    /** Times the consumer blocked waiting for the next result. */
+    std::uint64_t consumerParks = 0;
+    /** slot-free broadcasts issued (only ever sent while at least
+     *  one worker is parked; the pre-PR-7 runner broadcast once per
+     *  delivered row unconditionally). */
+    std::uint64_t wakeBroadcasts = 0;
+};
+
 class ExperimentRunner
 {
   public:
@@ -62,6 +89,40 @@ class ExperimentRunner
      */
     void setCoreReuse(bool on) { coreReuse_ = on; }
     bool coreReuse() const { return coreReuse_; }
+
+    /** Reorder-window size (slots) a streaming run of this runner
+     *  uses: how far workers may run ahead of delivery. */
+    std::size_t reorderWindow() const
+    {
+        return reorderWindowFor(threads_);
+    }
+
+    /** The window a run with @p workers claimed threads uses. */
+    static std::size_t reorderWindowFor(int workers);
+
+    /**
+     * Test/diagnostic hook, called on the claiming worker right
+     * before each trial starts as probe(index, delivered): @p index
+     * is the spec about to run, @p delivered the number of results
+     * handed to the callback so far. Under StreamOrder::SpecOrder the
+     * claim protocol guarantees index < delivered + reorderWindow() —
+     * the probe is how the streaming tests assert workers never
+     * outrun the window. (Under Completion order delivery can
+     * additionally trail by up to the worker count, since consumption
+     * is out of ticket order.) Must be thread-safe; null (the
+     * default) disables it.
+     */
+    using TrialProbe =
+        std::function<void(std::size_t index, std::size_t delivered)>;
+    void setTrialProbe(TrialProbe probe)
+    {
+        trialProbe_ = std::move(probe);
+    }
+
+    /** Overwrite @p sink with the coordination counters at the end
+     *  of every streaming run() (null, the default, disables the
+     *  accounting). The sink must outlive the runs. */
+    void setStatsSink(StreamStats *sink) { statsSink_ = sink; }
 
     /** Invoked on the runner's calling thread, once per spec. */
     using ResultCallback = std::function<void(const ExperimentResult &)>;
@@ -91,6 +152,8 @@ class ExperimentRunner
   private:
     int threads_;
     bool coreReuse_ = true;
+    TrialProbe trialProbe_;
+    StreamStats *statsSink_ = nullptr;
 };
 
 } // namespace lf

@@ -45,19 +45,19 @@ SgxNonMtChannelBase::transmitBit(bool bit)
     // Inside the enclave: init once, then many interleaved
     // encode/decode rounds. No per-round sync is needed — sender and
     // "receiver pattern" are phases of the same enclave code.
-    core_.setProgram(kThread, &receiver_.program);
-    runLoopIters(core_, kThread, receiver_,
+    core_.setProgram(kThread, *receiver_);
+    runLoopIters(core_, kThread, *receiver_,
                  static_cast<std::uint64_t>(cfg_.initIters));
     for (int round = 0; round < sgxCfg_.rounds; ++round) {
         if (bit) {
-            core_.setProgram(kThread, &encodeOne_.program);
-            runLoopIters(core_, kThread, encodeOne_, 1);
+            core_.setProgram(kThread, *encodeOne_);
+            runLoopIters(core_, kThread, *encodeOne_, 1);
         } else if (cfg_.stealthy) {
-            core_.setProgram(kThread, &encodeZero_.program);
-            runLoopIters(core_, kThread, encodeZero_, 1);
+            core_.setProgram(kThread, *encodeZero_);
+            runLoopIters(core_, kThread, *encodeZero_, 1);
         }
-        core_.setProgram(kThread, &receiver_.program);
-        runLoopIters(core_, kThread, receiver_, 1);
+        core_.setProgram(kThread, *receiver_);
+        runLoopIters(core_, kThread, *receiver_, 1);
     }
     core_.clearProgram(kThread);
 
@@ -84,16 +84,21 @@ SgxNonMtEvictionChannel::name() const
 void
 SgxNonMtEvictionChannel::setup()
 {
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
-                                            false));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d,
+                                              cfg_.N + 1 - cfg_.d,
+                                              false),
+                                      dsbLineUops());
     if (cfg_.stealthy) {
-        encodeZero_ = buildMixBlockChain(cfg_.senderBase, cfg_.altSet,
-                                         waySpan(cfg_.d,
-                                                 cfg_.N + 1 - cfg_.d,
-                                                 false));
+        encodeZero_ = prepareMixBlockChain(cfg_.senderBase,
+                                           cfg_.altSet,
+                                           waySpan(cfg_.d,
+                                                   cfg_.N + 1 - cfg_.d,
+                                                   false),
+                                           dsbLineUops());
     }
 }
 
@@ -115,16 +120,20 @@ void
 SgxNonMtMisalignmentChannel::setup()
 {
     lf_assert(cfg_.M > cfg_.d, "misalignment channel needs M > d");
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.M - cfg_.d,
-                                            true));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d, cfg_.M - cfg_.d,
+                                              true),
+                                      dsbLineUops());
     if (cfg_.stealthy) {
-        encodeZero_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                         waySpan(cfg_.d,
-                                                 cfg_.M - cfg_.d,
-                                                 false));
+        encodeZero_ = prepareMixBlockChain(cfg_.senderBase,
+                                           cfg_.targetSet,
+                                           waySpan(cfg_.d,
+                                                   cfg_.M - cfg_.d,
+                                                   false),
+                                           dsbLineUops());
     }
 }
 
@@ -147,23 +156,23 @@ SgxMtChannelBase::transmitBit(bool bit)
     if (bit)
         core_.enclaveTransition(kSender);
 
-    core_.setProgram(kReceiver, &receiver_.program);
-    runLoopIters(core_, kReceiver, receiver_,
+    core_.setProgram(kReceiver, *receiver_);
+    runLoopIters(core_, kReceiver, *receiver_,
                  static_cast<std::uint64_t>(cfg_.initIters));
 
     double sum = 0.0;
     int samples = 0;
     for (int step = 0; step < sgxCfg_.mtSteps; ++step) {
         if (bit) {
-            core_.setProgram(kSender, &encodeOne_.program);
+            core_.setProgram(kSender, *encodeOne_);
             core_.runUntilRetired(
                 kSender,
                 static_cast<std::uint64_t>(cfg_.mtSenderIters) *
-                    encodeOne_.instsPerIteration);
+                    encodeOne_->chain.instsPerIteration);
         }
         for (int k = 0; k < sgxCfg_.mtMeasPerStep; ++k) {
             chargeMeasurementOverhead();
-            sum += timedLoopIters(core_, kReceiver, receiver_, 1);
+            sum += timedLoopIters(core_, kReceiver, *receiver_, 1);
             ++samples;
         }
         if (bit)
@@ -193,11 +202,14 @@ SgxMtEvictionChannel::setup()
 {
     lf_assert(cfg_.targetSet >= 16,
               "MT channels need a target set >= 16");
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.N + 1 - cfg_.d,
-                                            false));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d,
+                                              cfg_.N + 1 - cfg_.d,
+                                              false),
+                                      dsbLineUops());
 }
 
 SgxMtMisalignmentChannel::SgxMtMisalignmentChannel(
@@ -219,11 +231,13 @@ SgxMtMisalignmentChannel::setup()
     lf_assert(cfg_.targetSet >= 16,
               "MT channels need a target set >= 16");
     lf_assert(cfg_.M > cfg_.d, "misalignment channel needs M > d");
-    receiver_ = buildMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
-                                   waySpan(0, cfg_.d, false));
-    encodeOne_ = buildMixBlockChain(cfg_.senderBase, cfg_.targetSet,
-                                    waySpan(cfg_.d, cfg_.M - cfg_.d,
-                                            true));
+    receiver_ = prepareMixBlockChain(cfg_.receiverBase, cfg_.targetSet,
+                                     waySpan(0, cfg_.d, false),
+                                     dsbLineUops());
+    encodeOne_ = prepareMixBlockChain(cfg_.senderBase, cfg_.targetSet,
+                                      waySpan(cfg_.d, cfg_.M - cfg_.d,
+                                              true),
+                                      dsbLineUops());
 }
 
 } // namespace lf

@@ -23,7 +23,7 @@
 
 #include "core/channel.hh"
 #include "core/mt_channels.hh"
-#include "isa/mix_block.hh"
+#include "frontend/prepared.hh"
 
 namespace lf {
 
@@ -53,9 +53,9 @@ class SgxNonMtChannelBase : public CovertChannel
     static constexpr ThreadId kThread = 0;
 
     SgxConfig sgxCfg_;
-    ChainProgram receiver_;
-    ChainProgram encodeOne_;
-    ChainProgram encodeZero_; //!< Stealthy variant only.
+    PreparedChainPtr receiver_;
+    PreparedChainPtr encodeOne_;
+    PreparedChainPtr encodeZero_; //!< Stealthy variant only.
 };
 
 /** Non-MT SGX eviction channel (Table VI). */
@@ -93,8 +93,8 @@ class SgxMtChannelBase : public CovertChannel
     static constexpr ThreadId kSender = 1;
 
     SgxConfig sgxCfg_;
-    ChainProgram receiver_;
-    ChainProgram encodeOne_;
+    PreparedChainPtr receiver_;
+    PreparedChainPtr encodeOne_;
 };
 
 /** MT SGX eviction channel (Table VI). */

@@ -1,5 +1,7 @@
 #include "sim/core.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace lf {
@@ -41,12 +43,19 @@ Core::refreshPartitionState()
 }
 
 void
-Core::setProgram(ThreadId tid, const Program *program)
+Core::setProgram(ThreadId tid, const Program *program,
+                 const ChunkTable *table)
 {
     if (domainSwitchHook_)
         domainSwitchHook_(*this);
-    engine_.setProgram(tid, program);
+    engine_.setProgram(tid, program, table);
     refreshPartitionState();
+}
+
+void
+Core::setProgram(ThreadId tid, const PreparedChain &prepared)
+{
+    setProgram(tid, &prepared.chain.program, &prepared.table);
 }
 
 void
@@ -79,8 +88,19 @@ Core::tick()
 void
 Core::runCycles(Cycles cycles)
 {
-    for (Cycles i = 0; i < cycles; ++i)
+    Cycles done = 0;
+    while (done < cycles) {
+        const Cycles burn = engine_.noOpCycles();
+        if (burn > 0) {
+            const Cycles k = std::min(burn, cycles - done);
+            engine_.skipCycles(k);
+            backend_.skip(k);
+            done += k;
+            continue;
+        }
         tick();
+        ++done;
+    }
 }
 
 Cycles
@@ -105,6 +125,16 @@ Core::runUntilRetired(ThreadId tid, std::uint64_t insts,
             engine_.idqOccupancy(tid) == 0) {
             lf_panic("runUntilRetired: thread %d halted before reaching"
                      " the retirement target", tid);
+        }
+        const Cycles burn = engine_.noOpCycles();
+        if (burn > 0) {
+            // Nothing retires during a no-op stretch; fast-forward
+            // it, but never past the deadlock guard above.
+            const Cycles k =
+                std::min(burn, max_cycles - (cycle() - start));
+            engine_.skipCycles(k);
+            backend_.skip(k);
+            continue;
         }
         tick();
     }

@@ -22,6 +22,7 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "frontend/engine.hh"
+#include "frontend/prepared.hh"
 #include "power/energy_model.hh"
 #include "power/rapl.hh"
 #include "sim/cpu_model.hh"
@@ -52,7 +53,17 @@ class Core
 
     /** @name Thread control (updates SMT partitioning) */
     /// @{
-    void setProgram(ThreadId tid, const Program *program);
+    /**
+     * Bind @p program to @p tid. When @p table is non-null it is the
+     * program's shared immutable chunk decode (a PreparedChain's) and
+     * the engine skips re-decoding; otherwise the engine resolves one
+     * itself (see FrontendEngine::setProgram). Results are identical
+     * either way.
+     */
+    void setProgram(ThreadId tid, const Program *program,
+                    const ChunkTable *table = nullptr);
+    /** Bind a prepared workload: program plus pre-built decode. */
+    void setProgram(ThreadId tid, const PreparedChain &prepared);
     void clearProgram(ThreadId tid);
 
     /**

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "frontend/prepared.hh"
 #include "isa/mix_block.hh"
 #include "sim/core.hh"
 
@@ -26,6 +27,13 @@ runLoopIters(Core &core, ThreadId tid, const ChainProgram &chain,
     return core.runUntilRetired(tid, iters * chain.instsPerIteration);
 }
 
+inline Cycles
+runLoopIters(Core &core, ThreadId tid, const PreparedChain &prepared,
+             std::uint64_t iters)
+{
+    return runLoopIters(core, tid, prepared.chain, iters);
+}
+
 /**
  * Timed variant: measured duration (cycles) including the Core's TSC
  * noise model.
@@ -35,6 +43,13 @@ timedLoopIters(Core &core, ThreadId tid, const ChainProgram &chain,
                std::uint64_t iters)
 {
     return core.timedRun(tid, iters * chain.instsPerIteration);
+}
+
+inline double
+timedLoopIters(Core &core, ThreadId tid, const PreparedChain &prepared,
+               std::uint64_t iters)
+{
+    return timedLoopIters(core, tid, prepared.chain, iters);
 }
 
 /**
@@ -49,6 +64,17 @@ steadyCyclesPerIter(Core &core, ThreadId tid, const ChainProgram &chain,
     core.setProgram(tid, &chain.program);
     runLoopIters(core, tid, chain, warmup_iters);
     const Cycles elapsed = runLoopIters(core, tid, chain, iters);
+    return static_cast<double>(elapsed) / static_cast<double>(iters);
+}
+
+inline double
+steadyCyclesPerIter(Core &core, ThreadId tid,
+                    const PreparedChain &prepared,
+                    std::uint64_t warmup_iters, std::uint64_t iters)
+{
+    core.setProgram(tid, prepared);
+    runLoopIters(core, tid, prepared, warmup_iters);
+    const Cycles elapsed = runLoopIters(core, tid, prepared, iters);
     return static_cast<double>(elapsed) / static_cast<double>(iters);
 }
 

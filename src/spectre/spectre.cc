@@ -111,7 +111,8 @@ SpectreAttack::buildProbes()
         for (int w = 0; w < 8; ++w)
             specs.push_back({w, false});
         probeChains_.push_back(
-            buildMixBlockChain(cfg_.probeBase, v, specs).program);
+            prepareMixBlockChain(cfg_.probeBase, v, specs,
+                                 core_.model().frontend.dsbLineUops));
     }
 
     // L1I prime chains: per value, 8 blocks aliasing the gadget's L1I
@@ -186,7 +187,7 @@ SpectreAttack::probeFrontendTimings()
     std::vector<double> timings;
     timings.reserve(static_cast<std::size_t>(cfg_.numValues));
     for (int v = 0; v < cfg_.numValues; ++v) {
-        core_.setProgram(kThread, &probeChains_[static_cast<size_t>(v)]);
+        core_.setProgram(kThread, *probeChains_[static_cast<size_t>(v)]);
         timings.push_back(core_.timedRun(kThread, 2 * 8 * 5));
     }
     return timings;
@@ -243,7 +244,7 @@ void
 SpectreAttack::primeFrontend()
 {
     for (int v = 0; v < cfg_.numValues; ++v) {
-        core_.setProgram(kThread, &probeChains_[static_cast<size_t>(v)]);
+        core_.setProgram(kThread, *probeChains_[static_cast<size_t>(v)]);
         core_.runUntilRetired(kThread, 2 * 8 * 5);
     }
 }

@@ -34,6 +34,7 @@
 
 #include "backend/l1d_cache.hh"
 #include "common/types.hh"
+#include "frontend/prepared.hh"
 #include "isa/program.hh"
 #include "sim/core.hh"
 
@@ -125,7 +126,7 @@ class SpectreAttack
     Program victim_;
     Addr branchAddr_ = 0;
     bool condInBounds_ = true;
-    std::vector<Program> probeChains_; //!< Frontend: one per set.
+    std::vector<PreparedChainPtr> probeChains_; //!< Frontend: one per set.
     std::vector<double> frontendBaseline_; //!< Per-set calibration.
     std::vector<Program> l1iPrimeChains_;
     std::unique_ptr<Program> gadgetRunner_; //!< For L1I F+R probing.

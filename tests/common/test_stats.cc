@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/stats.hh"
 
 namespace lf {
@@ -41,6 +43,58 @@ TEST(OnlineStats, MergeMatchesCombined)
     EXPECT_EQ(a.count(), all.count());
     EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
     EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+// The population-variance convention (stats.hh) must hold everywhere:
+// online accumulation, shard merging, and the batch helpers all agree
+// on the same number for the same samples.
+TEST(OnlineStats, VarianceConventionMatchesBatchHelpers)
+{
+    std::vector<double> values;
+    OnlineStats online;
+    for (int i = 0; i < 37; ++i) {
+        const double v = 3.0 + 1.7 * i - 0.05 * i * i;
+        values.push_back(v);
+        online.add(v);
+    }
+    // Population: divide by n.
+    double sq = 0.0;
+    for (double v : values)
+        sq += (v - online.mean()) * (v - online.mean());
+    const double population =
+        sq / static_cast<double>(values.size());
+
+    EXPECT_NEAR(online.variance(), population, 1e-9);
+    EXPECT_NEAR(stddev(values), std::sqrt(population), 1e-9);
+    EXPECT_NEAR(online.stddev(), stddev(values), 1e-9);
+}
+
+TEST(OnlineStats, MergeKeepsBatchConvention)
+{
+    std::vector<double> values;
+    OnlineStats left;
+    OnlineStats right;
+    for (int i = 0; i < 23; ++i) {
+        const double v = std::sin(0.3 * i) * 11.0;
+        values.push_back(v);
+        (i < 9 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), values.size());
+    EXPECT_NEAR(left.mean(), mean(values), 1e-9);
+    EXPECT_NEAR(left.stddev(), stddev(values), 1e-9);
+}
+
+TEST(OnlineStats, SingleSampleIsZeroEverywhere)
+{
+    OnlineStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(stddev({42.0}), 0.0);
+    OnlineStats merged;
+    merged.merge(s);
+    EXPECT_EQ(merged.variance(), 0.0);
 }
 
 TEST(OnlineStats, ResetClears)

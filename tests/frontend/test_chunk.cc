@@ -1,4 +1,4 @@
-/** @file Tests for decoded-run (chunk) construction. */
+/** @file Tests for decoded-run (chunk table) construction. */
 
 #include <gtest/gtest.h>
 
@@ -13,7 +13,7 @@ FrontendParams params;
 TEST(Chunk, AlignedMixBlockIsOneChunk)
 {
     const auto chain = buildMixBlockChain(0x400000, 3, {{0, false}});
-    ChunkCache cache(&chain.program, params);
+    ChunkTable cache(chain.program, params);
     const Chunk *chunk = cache.get(chain.blockStarts[0]);
     ASSERT_NE(chunk, nullptr);
     EXPECT_EQ(chunk->numInsts(), 5);
@@ -27,7 +27,7 @@ TEST(Chunk, AlignedMixBlockIsOneChunk)
 TEST(Chunk, MisalignedMixBlockSplitsInTwo)
 {
     const auto chain = buildMixBlockChain(0x400000, 3, {{0, true}});
-    ChunkCache cache(&chain.program, params);
+    ChunkTable cache(chain.program, params);
     const Addr start = chain.blockStarts[0];
     const Chunk *first = cache.get(start);
     ASSERT_NE(first, nullptr);
@@ -45,7 +45,7 @@ TEST(Chunk, MisalignedMixBlockSplitsInTwo)
 TEST(Chunk, UopCapacitySplitsNopRuns)
 {
     const auto loop = buildNopLoop(0x100000, 100);
-    ChunkCache cache(&loop.program, params);
+    ChunkTable cache(loop.program, params);
     const Chunk *chunk = cache.get(0x100000);
     ASSERT_NE(chunk, nullptr);
     EXPECT_EQ(chunk->uops, params.dsbLineUops); // capped at one line
@@ -55,7 +55,7 @@ TEST(Chunk, UopCapacitySplitsNopRuns)
 TEST(Chunk, NopLoopChunkCount)
 {
     const auto loop = buildNopLoop(0x100000, 100);
-    ChunkCache cache(&loop.program, params);
+    ChunkTable cache(loop.program, params);
     int chunks = 0;
     Addr pc = 0x100000;
     while (true) {
@@ -74,7 +74,7 @@ TEST(Chunk, NopLoopChunkCount)
 TEST(Chunk, LcpInstructionStandsAlone)
 {
     const auto loop = buildLcpAddLoop(0x100000, LcpPattern::Mixed, 4);
-    ChunkCache cache(&loop.program, params);
+    ChunkTable cache(loop.program, params);
     Addr pc = 0x100000;
     // First chunk: the leading plain add only (LCP breaks the run).
     const Chunk *first = cache.get(pc);
@@ -93,7 +93,7 @@ TEST(Chunk, HaltChunk)
     Assembler as(0x1000);
     as.halt();
     Program p = as.take();
-    ChunkCache cache(&p, params);
+    ChunkTable cache(p, params);
     const Chunk *chunk = cache.get(0x1000);
     ASSERT_NE(chunk, nullptr);
     EXPECT_TRUE(chunk->halt);
@@ -104,7 +104,7 @@ TEST(Chunk, MissingAddressReturnsNull)
     Assembler as(0x1000);
     as.mov();
     Program p = as.take();
-    ChunkCache cache(&p, params);
+    ChunkTable cache(p, params);
     EXPECT_EQ(cache.get(0x9999), nullptr);
     EXPECT_EQ(cache.get(0x9999), nullptr); // negative cache path
 }
@@ -115,7 +115,7 @@ TEST(Chunk, EndOfInstMarkers)
     as.store(0x8000); // 2 uops
     as.mov();
     Program p = as.take();
-    ChunkCache cache(&p, params);
+    ChunkTable cache(p, params);
     const Chunk *chunk = cache.get(0x1000);
     ASSERT_NE(chunk, nullptr);
     ASSERT_EQ(chunk->uops, 3);

@@ -308,5 +308,106 @@ TEST(Catalogs, AxisCatalogListsEveryOverrideKeyFamily)
         EXPECT_NE(catalog.find(" " + key), std::string::npos) << key;
 }
 
+// ProgressMeter with an injected fake clock: the drawn/reported rate
+// must track the *recent* pace, not the lifetime mean. The scenario
+// is a resumed campaign: a warm-cache burst replays many rows almost
+// instantly, then fresh trials arrive slowly — a lifetime-average
+// rate would keep promising a near-zero ETA for the rest of the run.
+class FakeClockMeter : public ::testing::Test
+{
+  protected:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    void install(ProgressMeter &meter)
+    {
+        meter.setSink(nullptr); // no terminal output from tests
+        meter.setClock([this] { return nowFake_; });
+    }
+
+    void advance(double seconds)
+    {
+        nowFake_ += std::chrono::microseconds(
+            static_cast<long long>(seconds * 1e6));
+    }
+
+    TimePoint nowFake_{std::chrono::seconds(1000)};
+};
+
+TEST_F(FakeClockMeter, WindowedRateRecoversFromResumeBurst)
+{
+    ProgressMeter meter("test", 10000);
+    install(meter);
+
+    // Warm-cache burst: 5000 rows in 50 ms -> ~100k rows/s.
+    for (std::size_t done = 500; done <= 5000; done += 500) {
+        advance(0.005);
+        meter.update(done);
+    }
+    EXPECT_GT(meter.rate(), 10000.0);
+
+    // Fresh trials: 10 rows/s. Once the burst leaves the ~5 s
+    // window, the rate must settle near 10/s and the ETA near
+    // 5000 remaining / 10 = 500 s. The lifetime mean (~5500 done in
+    // ~55 s elapsed = 100/s -> ETA 50 s) would be 10x off.
+    for (int i = 0; i < 100; ++i) {
+        advance(0.5);
+        meter.update(5000 + static_cast<std::size_t>(i + 1) * 5);
+    }
+    EXPECT_NEAR(meter.rate(), 10.0, 2.0);
+    EXPECT_NEAR(meter.etaSeconds(),
+                (10000.0 - 5500.0) / meter.rate(), 1.0);
+}
+
+TEST_F(FakeClockMeter, RateIsZeroWithoutProgressOrTime)
+{
+    ProgressMeter meter("test", 100);
+    install(meter);
+    meter.update(0);
+    EXPECT_EQ(meter.rate(), 0.0);
+    EXPECT_EQ(meter.etaSeconds(), 0.0);
+    // Two updates at the same instant: no time span, no rate.
+    meter.update(50);
+    EXPECT_EQ(meter.rate(), 0.0);
+}
+
+TEST_F(FakeClockMeter, FinalRedrawIsGuarded)
+{
+    ProgressMeter meter("test", 10);
+    // Draw into a tmpfile so the final-redraw path is exercised for
+    // real, not short-circuited by a null sink.
+    std::FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+    meter.setSink(sink);
+    meter.setClock([this] { return nowFake_; });
+
+    advance(1.0);
+    meter.update(5);
+    const long after_first = std::ftell(sink);
+    EXPECT_GT(after_first, 0);
+
+    // Reaching the total redraws once even inside the throttle
+    // interval...
+    advance(0.001);
+    meter.update(10);
+    const long after_final = std::ftell(sink);
+    EXPECT_GT(after_final, after_first);
+
+    // ...but a caller looping on the final count must not spam the
+    // line: repeat final updates inside the throttle draw nothing.
+    for (int i = 0; i < 50; ++i) {
+        advance(0.001);
+        meter.update(10);
+    }
+    EXPECT_EQ(std::ftell(sink), after_final);
+
+    // done > total must not underflow the remaining-work estimate.
+    advance(1.0);
+    meter.update(12);
+    EXPECT_GE(meter.etaSeconds(), 0.0);
+
+    meter.finish();
+    std::fclose(sink);
+}
+
 } // namespace
 } // namespace lf

@@ -1,0 +1,30 @@
+/** @file Standalone driver for profiling the trial hot path: runs the
+ *  throughput-bench batch single-threaded so gprof/perf samples land
+ *  on runExperiment and below. Not built by default CI paths. */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "run/runner.hh"
+#include "run/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    const int trials = argc > 1 ? std::atoi(argv[1]) : 512;
+    lf::ExperimentSpec spec;
+    spec.channel = "nonmt-fast-eviction";
+    spec.cpu = "E-2288G";
+    spec.seed = 7;
+    spec.messageBits = 4;
+    spec.preambleBits = 4;
+    spec.overrides["rounds"] = 2;
+    spec.overrides["initIters"] = 2;
+    const auto batch = lf::expandTrials(spec, trials);
+    lf::ExperimentRunner runner(1);
+    std::size_t ok = 0;
+    runner.run(batch,
+               [&ok](const lf::ExperimentResult &r) { ok += r.ok; });
+    std::printf("%zu/%d ok\n", ok, trials);
+    return 0;
+}

@@ -14,7 +14,9 @@
 
 #include "common/table.hh"
 #include "isa/mix_block.hh"
+#include "obs/counters.hh"
 #include "run/report.hh"
+#include "run/sinks.hh"
 #include "sim/core.hh"
 #include "sim/cpu_model.hh"
 #include "sim/executor.hh"
@@ -33,6 +35,10 @@ struct LoopCounters
     double lcpStallCycles;
     double switchPenaltyCycles;
     double ipc;
+    /** Unscaled whole-run CounterSet snapshot (warmup included) —
+     *  the PMU-style view BENCH_fig4.json exports next to the
+     *  paper-scaled figures above. */
+    obs::CounterSet counters;
 };
 
 LoopCounters
@@ -61,7 +67,18 @@ measure(LcpPattern pattern)
         * scale;
     out.ipc = static_cast<double>(delta.retiredInsts) /
         static_cast<double>(elapsed);
+    out.counters = obs::collectCoreCounters(core);
     return out;
+}
+
+void
+emitCounterObject(bench::JsonReport &into,
+                  const obs::CounterSet &counters)
+{
+    for (const obs::CounterInfo &info : obs::counterCatalog()) {
+        into.integer(info.name,
+                     static_cast<long long>(counters.*(info.field)));
+    }
 }
 
 } // namespace
@@ -92,6 +109,26 @@ main()
     table.addRow({"IPC", formatFixed(mixed.ipc),
                   formatFixed(ordered.ipc), "0.67", "0.59"});
     std::printf("%s\n", table.render().c_str());
+
+    bench::JsonReport report("fig4");
+    report.integer("sim_iters", static_cast<long long>(kSimIters));
+    report.integer("paper_iters", static_cast<long long>(kPaperIters));
+    const auto emitLoop = [&](const char *key, const LoopCounters &lc,
+                              double paperMiteUops, double paperIpc) {
+        bench::JsonReport &obj = report.object(key);
+        obj.number("uops_mite_scaled", lc.uopsMite);
+        obj.number("uops_dsb_scaled", lc.uopsDsb);
+        obj.number("lcp_stall_cycles_scaled", lc.lcpStallCycles);
+        obj.number("switch_penalty_cycles_scaled",
+                   lc.switchPenaltyCycles);
+        obj.number("ipc", lc.ipc);
+        obj.number("paper_uops_mite", paperMiteUops);
+        obj.number("paper_ipc", paperIpc);
+        emitCounterObject(obj.object("counters"), lc.counters);
+    };
+    emitLoop("mixed", mixed, 8.4e9, 0.67);
+    emitLoop("ordered", ordered, 8.7e9, 0.59);
+    report.writeFile(benchJsonFileName("fig4"));
 
     std::printf("Expected shape: ordered issue has MORE LCP stall"
                 " cycles,\n  mixed issue has FAR MORE switch penalty"

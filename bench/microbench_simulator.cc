@@ -24,6 +24,7 @@
 #include "core/nonmt_channels.hh"
 #include "frontend/prepared.hh"
 #include "isa/mix_block.hh"
+#include "obs/counters.hh"
 #include "run/report.hh"
 #include "run/sinks.hh"
 #include "run/sweep.hh"
@@ -193,6 +194,28 @@ emitRunnerThroughput(bool smoke)
     report.number("pr5_baseline_trials_per_sec",
                   kPr5BaselineTrialsPerSec);
 
+    // The observability overhead budget (docs/OBSERVABILITY.md): the
+    // increment hooks feeding obs::CounterSet are compiled in
+    // unconditionally, so the *counters-off* path — every normal run —
+    // must stay within 2% of the 3x-over-PR-5 throughput the PR-7
+    // runner gated on. The counters-on figure is also measured and
+    // emitted (collection adds one CounterSet copy per trial), but
+    // only reported: opting into counters buys the data with the
+    // overhead.
+    double counters_on_t1 = 0.0;
+    {
+        obs::CounterScope scope(true);
+        counters_on_t1 = trialsPerSec(ExperimentRunner(1), batch, reps);
+    }
+    const double pr7_gate = 3.0 * kPr5BaselineTrialsPerSec;
+    std::printf("counters on: %.1f trials/s (off: %.1f; PR-7 gate"
+                " %.1f, 2%% floor %.1f)\n",
+                counters_on_t1, reused_t1, pr7_gate, 0.98 * pr7_gate);
+    report.number("counters_off_t1_trials_per_sec", reused_t1);
+    report.number("counters_on_t1_trials_per_sec", counters_on_t1);
+    report.number("pr7_gate_trials_per_sec", pr7_gate);
+    report.number("counters_off_overhead_gate", 0.98 * pr7_gate);
+
     // Thundering-herd regression check, made deterministic: with a
     // batch smaller than the reorder window no worker can ever be a
     // full window ahead of delivery, so no worker ever parks and a
@@ -265,6 +288,9 @@ emitRunnerThroughput(bool smoke)
                             " baseline (2.4k trials/s)",
                             reused_t1 >=
                                 3.0 * kPr5BaselineTrialsPerSec);
+    rc |= bench::shapeCheck("counters-off throughput within 2% of the"
+                            " PR-7 gate baseline",
+                            reused_t1 >= 0.98 * pr7_gate);
     // Thread scaling needs the hardware to scale on; on smaller CI
     // boxes the values above are still emitted for the trajectory.
     if (hw_threads >= 8) {

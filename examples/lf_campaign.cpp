@@ -24,11 +24,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hh"
 #include "campaign/files.hh"
+#include "common/logging.hh"
+#include "obs/trace.hh"
 #include "run/cli.hh"
 #include "sim/cpu_model.hh"
 
@@ -75,6 +78,8 @@ usage(std::FILE *to)
         "                      (deterministic kill, for testing\n"
         "                      resume)\n"
         "  --progress          live progress line on stderr\n"
+        "  --trace PATH        record runner/trial spans and write\n"
+        "                      Chrome trace_event JSON\n"
         "\n"
         "merge options:\n"
         "  --summary PATH      also write the merged summary here\n"
@@ -85,7 +90,7 @@ usage(std::FILE *to)
 [[noreturn]] void
 fail(const std::string &error)
 {
-    std::fprintf(stderr, "lf_campaign: %s\n", error.c_str());
+    lf_error("lf_campaign: %s", error.c_str());
     std::exit(1);
 }
 
@@ -206,6 +211,7 @@ cmdRunShard(Args &args)
     std::string dir;
     int shard = -1;
     ShardRunOptions options;
+    std::string tracePath;
     bool progress = false;
     bool quiet = false;
 
@@ -234,6 +240,8 @@ cmdRunShard(Args &args)
                 fail("bad --max-new value");
             }
             options.maxNewRows = static_cast<std::size_t>(limit);
+        } else if (arg == "--trace") {
+            tracePath = args.value(i, "--trace");
         } else if (arg == "--progress") {
             progress = true;
         } else if (arg == "--quiet") {
@@ -246,6 +254,8 @@ cmdRunShard(Args &args)
         fail("run-shard needs --dir");
     if (shard < 0)
         fail("run-shard needs --shard");
+    if (!tracePath.empty())
+        obs::setTraceEnabled(true);
 
     ProgressMeter meter(
         "lf_campaign shard " + std::to_string(shard), 0);
@@ -278,6 +288,13 @@ cmdRunShard(Args &args)
         meter.finish();
     if (!error.empty())
         fail(error);
+    if (!tracePath.empty()) {
+        std::ofstream os(tracePath);
+        os << obs::renderTraceJson() << "\n";
+        if (!os.good())
+            fail("cannot write " + tracePath);
+        lf_inform("wrote %s", tracePath.c_str());
+    }
     if (!quiet) {
         std::printf("shard %d: %zu/%zu rows done (%zu resumed, %zu"
                     " cache hits, %zu executed, %zu failed)\n",
@@ -377,7 +394,7 @@ main(int argc, char **argv)
         return cmdMerge(args);
     if (command == "status")
         return cmdStatus(args);
-    std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
+    lf_error("unknown command \"%s\"", command.c_str());
     usage(stderr);
     return 1;
 }

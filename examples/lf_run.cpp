@@ -29,7 +29,11 @@
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/counters.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "run/cli.hh"
 #include "run/sweep.hh"
 #include "sim/cpu_model.hh"
@@ -47,6 +51,8 @@ usage(std::FILE *to)
         "  --list              list channels and override keys, exit\n"
         "  --list-channels     list the channel registry catalog\n"
         "  --list-axes         list every --set/--sweep override key\n"
+        "  --list-counters     list the microarchitectural counter\n"
+        "                      catalog (the names --counters emits)\n"
         "  --channel NAME      channel to run (repeatable; 'all' for\n"
         "                      every registered channel)\n"
         "  --cpu NAME          CPU model (repeatable; 'all' for every\n"
@@ -85,9 +91,20 @@ usage(std::FILE *to)
         "  --json PATH         write per-trial results as JSON\n"
         "  --csv PATH          write per-trial results as CSV\n"
         "  --summary PATH      write the per-cell sweep summary table\n"
+        "  --counters PATH     enable microarchitectural counters and\n"
+        "                      write the run-aggregate CounterSet as\n"
+        "                      JSON (per-trial results stay\n"
+        "                      bit-identical either way; see\n"
+        "                      --list-counters for the catalog)\n"
+        "  --trace PATH        record runner/trial spans and write\n"
+        "                      Chrome trace_event JSON (load in\n"
+        "                      chrome://tracing or ui.perfetto.dev)\n"
+        "  --metrics PATH      write the end-of-run RunMetrics report\n"
+        "                      (throughput, parks, cache hit rate,\n"
+        "                      window occupancy) as JSON\n"
         "  --progress          live progress line on stderr\n"
         "                      (completed/total, trials/sec, ETA);\n"
-        "                      results stream as trials complete\n"
+        "                      ends on a RunMetrics summary line\n"
         "  --quiet             suppress stdout tables (and"
         " --progress)\n"
         "  --help              this message\n");
@@ -108,20 +125,23 @@ main(int argc, char **argv)
     std::string json_path;
     std::string csv_path;
     std::string summary_path;
+    std::string counters_path;
+    std::string trace_path;
+    std::string metrics_path;
     bool quiet = false;
     bool progress = false;
     bool dry_run = false;
 
     auto need_value = [&](int i) -> std::string {
         if (i + 1 >= argc) {
-            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            lf_error("%s needs a value", argv[i]);
             usage(stderr);
             std::exit(1);
         }
         return argv[i + 1];
     };
     auto fail = [](const std::string &error) {
-        std::fprintf(stderr, "%s\n", error.c_str());
+        lf_error("%s", error.c_str());
         std::exit(1);
     };
 
@@ -139,6 +159,9 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list-axes") {
             std::printf("%s", renderOverrideKeyCatalog().c_str());
+            return 0;
+        } else if (arg == "--list-counters") {
+            std::printf("%s", renderCounterCatalog().c_str());
             return 0;
         } else if (arg == "--channel") {
             channels.push_back(need_value(i++));
@@ -190,6 +213,12 @@ main(int argc, char **argv)
             csv_path = need_value(i++);
         } else if (arg == "--summary") {
             summary_path = need_value(i++);
+        } else if (arg == "--counters") {
+            counters_path = need_value(i++);
+        } else if (arg == "--trace") {
+            trace_path = need_value(i++);
+        } else if (arg == "--metrics") {
+            metrics_path = need_value(i++);
         } else if (arg == "--progress") {
             progress = true;
         } else if (arg == "--dry-run") {
@@ -197,16 +226,14 @@ main(int argc, char **argv)
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
-            std::fprintf(stderr, "unknown option \"%s\"\n",
-                         arg.c_str());
+            lf_error("unknown option \"%s\"", arg.c_str());
             usage(stderr);
             return 1;
         }
     }
 
     if (channels.empty()) {
-        std::fprintf(stderr,
-                     "no --channel given (try --list or --help)\n");
+        lf_error("no --channel given (try --list or --help)");
         return 1;
     }
     if (channels.size() == 1 && channels[0] == "all")
@@ -228,7 +255,7 @@ main(int argc, char **argv)
     if (error.empty())
         error = validateSweepShard(sweep, shard);
     if (!error.empty()) {
-        std::fprintf(stderr, "%s (see --list)\n", error.c_str());
+        lf_error("%s (see --list)", error.c_str());
         return 1;
     }
 
@@ -245,7 +272,15 @@ main(int argc, char **argv)
     // identical at any --threads value), the sweep summary folds into
     // O(cells) accumulator state, and --progress reports off the same
     // callback — memory stays bounded however large the grid is.
-    const ExperimentRunner runner(threads);
+    // Counters/trace/metrics are purely observational: switching them
+    // on never changes a sink byte.
+    if (!counters_path.empty())
+        obs::setCountersEnabled(true);
+    if (!trace_path.empty())
+        obs::setTraceEnabled(true);
+    ExperimentRunner runner(threads);
+    obs::RunMetrics metrics;
+    runner.setMetricsSink(&metrics);
     const std::vector<ExperimentSpec> batch = expandSweep(sweep, shard);
 
     std::ofstream json_os;
@@ -253,7 +288,7 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         json_os.open(json_path);
         if (!json_os) {
-            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            lf_error("cannot open %s", json_path.c_str());
             return 1;
         }
         json_sink.writeHeader(json_os);
@@ -263,7 +298,7 @@ main(int argc, char **argv)
     if (!csv_path.empty()) {
         csv_os.open(csv_path);
         if (!csv_os) {
-            std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+            lf_error("cannot open %s", csv_path.c_str());
             return 1;
         }
         csv_sink.writeHeader(csv_os);
@@ -289,6 +324,7 @@ main(int argc, char **argv)
     std::size_t done = 0;
     std::size_t failures = 0;
     std::string first_error;
+    obs::CounterSet counters_total;
 
     runner.run(batch, [&](const ExperimentResult &res) {
         ++done;
@@ -296,6 +332,11 @@ main(int argc, char **argv)
             ++failures;
             if (first_error.empty())
                 first_error = res.error;
+        }
+        if (res.counters != nullptr) {
+            for (const obs::CounterInfo &info : obs::counterCatalog())
+                counters_total.*(info.field) +=
+                    (*res.counters).*(info.field);
         }
         if (!json_path.empty())
             json_sink.writeRow(res, json_os);
@@ -309,7 +350,7 @@ main(int argc, char **argv)
             meter.update(done);
     });
     if (show_progress)
-        meter.finish();
+        meter.finishWith(obs::runMetricsOneLiner(metrics));
 
     if (!quiet) {
         text.writeFooter(text_os);
@@ -325,34 +366,60 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         json_sink.writeFooter(json_os);
         if (!json_os.good()) {
-            std::fprintf(stderr, "write to %s failed\n",
-                         json_path.c_str());
+            lf_error("write to %s failed", json_path.c_str());
             return 1;
         }
-        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+        lf_inform("wrote %s", json_path.c_str());
     }
     if (!csv_path.empty()) {
         csv_sink.writeFooter(csv_os);
         if (!csv_os.good()) {
-            std::fprintf(stderr, "write to %s failed\n",
-                         csv_path.c_str());
+            lf_error("write to %s failed", csv_path.c_str());
             return 1;
         }
-        std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+        lf_inform("wrote %s", csv_path.c_str());
     }
     if (!summary_path.empty()) {
         std::ofstream os(summary_path);
         os << summary_text;
         if (!os.good()) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         summary_path.c_str());
+            lf_error("cannot write %s", summary_path.c_str());
             return 1;
         }
-        std::fprintf(stderr, "wrote %s\n", summary_path.c_str());
+        lf_inform("wrote %s", summary_path.c_str());
+    }
+
+    // Observability artifacts last: they describe the run that just
+    // finished, whatever its outcome.
+    const auto write_text_file = [&](const std::string &path,
+                                     const std::string &text_out) {
+        std::ofstream os(path);
+        os << text_out;
+        if (!os.good()) {
+            lf_error("cannot write %s", path.c_str());
+            return false;
+        }
+        lf_inform("wrote %s", path.c_str());
+        return true;
+    };
+    if (!counters_path.empty() &&
+        !write_text_file(counters_path,
+                         obs::renderCounterSetJson(counters_total) +
+                             "\n")) {
+        return 1;
+    }
+    if (!trace_path.empty() &&
+        !write_text_file(trace_path, obs::renderTraceJson() + "\n")) {
+        return 1;
+    }
+    if (!metrics_path.empty() &&
+        !write_text_file(metrics_path,
+                         obs::renderRunMetricsJson(metrics) + "\n")) {
+        return 1;
     }
 
     if (failures > 0) {
-        std::fprintf(stderr, "trial failed: %s\n", first_error.c_str());
+        lf_error("trial failed: %s", first_error.c_str());
         return 1;
     }
     return 0;

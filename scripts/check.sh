@@ -19,13 +19,16 @@ echo "== ASan/UBSan: registry + run-subsystem tests =="
 cmake -B build-asan -S . -DLF_ASAN=ON
 cmake --build build-asan -j "${JOBS}" \
     --target lf_core_test_channel_registry lf_run_test_runner \
-             lf_run_test_streaming lf_run_test_sweep lf_run_test_cli \
+             lf_run_test_streaming lf_run_test_hooks \
+             lf_obs_test_obs lf_run_test_sweep lf_run_test_cli \
              lf_noise_test_environment lf_defense_test_defense \
              lf_campaign_test_campaign lf_campaign_test_campaign_files \
              lf_run lf_campaign table_defenses campaign_overhead
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
 ./build-asan/lf_run_test_streaming
+./build-asan/lf_run_test_hooks
+./build-asan/lf_obs_test_obs
 ./build-asan/lf_run_test_sweep
 ./build-asan/lf_run_test_cli
 ./build-asan/lf_noise_test_environment
@@ -40,10 +43,12 @@ echo "== TSan: runner/streaming/campaign tests =="
 cmake -B build-tsan -S . -DLF_TSAN=ON
 cmake --build build-tsan -j "${JOBS}" \
     --target lf_run_test_runner lf_run_test_streaming \
+             lf_run_test_hooks \
              lf_campaign_test_campaign lf_campaign_test_campaign_files \
              lf_run
 ./build-tsan/lf_run_test_runner
 ./build-tsan/lf_run_test_streaming
+./build-tsan/lf_run_test_hooks
 ./build-tsan/lf_campaign_test_campaign
 ./build-tsan/lf_campaign_test_campaign_files
 ./build-tsan/lf_run --channel mt-eviction --cpu "Gold 6226" \
@@ -53,6 +58,36 @@ cmake --build build-tsan -j "${JOBS}" \
 echo "== documentation checks =="
 LF_RUN=build-check/lf_run LF_CAMPAIGN=build-check/lf_campaign \
     ./scripts/check_docs.sh
+
+echo "== observability smoke (--trace / --metrics / --counters) =="
+obs_dir="build-check/obs-smoke"
+rm -rf "${obs_dir}" && mkdir -p "${obs_dir}"
+./build-check/lf_run --channel nonmt-fast-eviction --cpu "Gold 6226" \
+    --trials 6 --bits 4 --threads 4 --seed 13 \
+    --trace "${obs_dir}/trace.json" --metrics "${obs_dir}/metrics.json" \
+    --counters "${obs_dir}/counters.json" --quiet
+python3 - "${obs_dir}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+trace = json.load(open(f"{d}/trace.json"))
+events = trace["traceEvents"]
+assert events and trace["displayTimeUnit"] == "ms"
+assert all({"name", "ph", "ts", "pid", "tid"} <= e.keys() for e in events)
+assert "trial" in {e["name"] for e in events}
+metrics = json.load(open(f"{d}/metrics.json"))
+assert metrics["schema"] == "lf_run_metrics_v1"
+for key in ("trials", "ok_trials", "workers", "seconds",
+            "trials_per_sec", "worker_parks",
+            "prepared_cache_hit_rate", "reorder_window",
+            "window_occupancy_histogram"):
+    assert key in metrics, key
+assert metrics["trials"] == 6
+assert sum(metrics["window_occupancy_histogram"]) == 6
+counters = json.load(open(f"{d}/counters.json"))
+assert counters["cycles"] > 0 and counters["uops_mite"] > 0
+print("observability smoke ok: %d trace events, %d counters"
+      % (len(events), len(counters)))
+EOF
 
 echo "== ASan/UBSan: sweep smoke test =="
 ./build-asan/lf_run --channel mt-eviction --cpu "Gold 6226" \
@@ -101,6 +136,16 @@ if cmake --build build-asan --target help 2>/dev/null |
         grep -q "microbench_simulator"; then
     cmake --build build-asan -j "${JOBS}" --target microbench_simulator
     (cd build-asan && ./microbench_simulator --smoke > /dev/null)
+    # Even in smoke mode the report must carry the counters-overhead
+    # gate fields (the timing gate itself only runs un-smoked).
+    python3 - build-asan/BENCH_runner_throughput.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for key in ("counters_off_t1_trials_per_sec",
+            "counters_on_t1_trials_per_sec",
+            "pr7_gate_trials_per_sec", "counters_off_overhead_gate"):
+    assert key in report, key
+EOF
 else
     echo "libbenchmark not found: skipping"
 fi

@@ -135,6 +135,21 @@ for channel in $channels; do
     fi
 done
 
+# ---- 3c. Every counter is documented in docs/OBSERVABILITY.md. ----
+# The counter catalog (lf_run --list-counters) is the source of
+# truth; each exported name must appear backticked in the docs.
+counter_names=$(
+    "$LF_RUN" --list-counters |
+    awk -F'|' 'NF > 3 { gsub(/ /, "", $2); print $2 }' |
+    grep -vE '^(Name|)$'
+)
+for counter in $counter_names; do
+    if ! grep -q -- "\`$counter\`" docs/OBSERVABILITY.md; then
+        note "counter $counter missing from docs/OBSERVABILITY.md"
+        fail=1
+    fi
+done
+
 # ---- 4. CHANGES.md gained a line (PR mode only). ----
 # Diff against the merge-base, not the base tip: once another PR
 # merges its own CHANGES.md line, a tip diff would be non-empty for

@@ -16,6 +16,8 @@ Backend::reset()
     issueWidth_ = engine_->params().issueWidth;
     lastRetire_.fill(0);
     rrStart_ = 0;
+    tickCycles_ = 0;
+    slotsUsed_ = 0;
 }
 
 void
@@ -49,11 +51,20 @@ Backend::tick()
         pops_second = paired + std::min(b - paired, rest);
     }
     std::uint64_t insts = 0;
-    if (pops_first > 0 && engine_->popUops(first, pops_first, insts) > 0)
-        lastRetire_[static_cast<std::size_t>(first)] = engine_->cycle();
-    if (pops_second > 0 &&
-        engine_->popUops(second, pops_second, insts) > 0) {
-        lastRetire_[static_cast<std::size_t>(second)] = engine_->cycle();
+    ++tickCycles_;
+    if (pops_first > 0) {
+        const int got = engine_->popUops(first, pops_first, insts);
+        if (got > 0)
+            lastRetire_[static_cast<std::size_t>(first)] =
+                engine_->cycle();
+        slotsUsed_ += static_cast<std::uint64_t>(got);
+    }
+    if (pops_second > 0) {
+        const int got = engine_->popUops(second, pops_second, insts);
+        if (got > 0)
+            lastRetire_[static_cast<std::size_t>(second)] =
+                engine_->cycle();
+        slotsUsed_ += static_cast<std::uint64_t>(got);
     }
     rrStart_ = (rrStart_ + 1) % FrontendEngine::kNumThreads;
 }

@@ -48,11 +48,24 @@ class Backend
     /** Cycle at which the thread last retired a micro-op. */
     Cycles lastRetireCycle(ThreadId tid) const;
 
+    /** @name Retire-slot accounting (observability)
+     * Each ticked cycle offers issueWidth retire slots; slotsUsed is
+     * how many actually carried a micro-op, so utilisation is
+     * retireSlotsUsed / (retireSlotCycles * issueWidth). Skipped
+     * (fast-forwarded) cycles retire nothing and are not counted
+     * here — see FrontendEngine::fastForwardedCycles(). */
+    /// @{
+    std::uint64_t retireSlotCycles() const { return tickCycles_; }
+    std::uint64_t retireSlotsUsed() const { return slotsUsed_; }
+    /// @}
+
   private:
     FrontendEngine *engine_;
     int issueWidth_;
     std::array<Cycles, FrontendEngine::kNumThreads> lastRetire_{};
     int rrStart_ = 0;
+    std::uint64_t tickCycles_ = 0;
+    std::uint64_t slotsUsed_ = 0;
 };
 
 } // namespace lf

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -12,8 +14,10 @@
 #include "campaign/files.hh"
 #include "campaign/grid_hash.hh"
 #include "campaign/shard_log.hh"
+#include "common/logging.hh"
 #include "common/message.hh"
 #include "common/table.hh"
+#include "obs/metrics.hh"
 #include "run/runner.hh"
 #include "run/sinks.hh"
 
@@ -31,6 +35,32 @@ shardRowCount(const CampaignManifest &manifest, int shard)
     const std::size_t shardCells =
         i < cells ? (cells - i + n - 1) / n : 0;
     return shardCells * static_cast<std::size_t>(manifest.spec.trials);
+}
+
+/**
+ * Lenient top-level-key number extraction from a shard metrics file
+ * (status must keep working if a future version adds keys, and must
+ * not mistake the nested "runner" object's fields — e.g. its
+ * "seconds" — for the shard's own, so only text before the nested
+ * object is searched).
+ */
+bool
+extractMetricsNumber(const std::string &text, const std::string &key,
+                     double &out)
+{
+    std::size_t limit = text.find("\"runner\":");
+    if (limit == std::string::npos)
+        limit = text.size();
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos || pos >= limit)
+        return false;
+    try {
+        out = std::stod(text.substr(pos + needle.size()));
+        return true;
+    } catch (...) {
+        return false;
+    }
 }
 
 std::string
@@ -57,6 +87,12 @@ std::string
 campaignSummaryPath(const std::string &dir)
 {
     return dir + "/merged_summary.txt";
+}
+
+std::string
+campaignShardMetricsPath(const std::string &dir, int shard)
+{
+    return dir + "/shard-" + std::to_string(shard) + ".metrics.json";
 }
 
 std::size_t
@@ -236,6 +272,7 @@ runCampaignShard(const std::string &dir, int shard,
 
     const ResultCache cache(options.cacheDir);
     const auto start = std::chrono::steady_clock::now();
+    obs::RunMetrics runnerMetrics;
     std::vector<std::size_t> misses;
     try {
         for (const std::size_t local : todo) {
@@ -256,7 +293,8 @@ runCampaignShard(const std::string &dir, int shard,
         for (const std::size_t local : misses)
             runSpecs.push_back(batch[local]);
 
-        const ExperimentRunner runner(options.threads);
+        ExperimentRunner runner(options.threads);
+        runner.setMetricsSink(&runnerMetrics);
         std::size_t delivered = 0;
         runner.run(runSpecs, [&](const ExperimentResult &res) {
             // SpecOrder delivery: the k-th callback is runSpecs[k].
@@ -276,6 +314,29 @@ runCampaignShard(const std::string &dir, int shard,
     run.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+
+    // Leave the shard's observability report beside its logs; the
+    // strict result/checkpoint files never depend on it, so a failed
+    // write degrades status reporting, not the campaign.
+    std::ostringstream metricsJson;
+    metricsJson << "{\"schema\":\"lf_shard_metrics_v1\""
+                << ",\"shard\":" << shard
+                << ",\"total_rows\":" << run.totalRows
+                << ",\"resumed_rows\":" << run.resumedRows
+                << ",\"cache_hits\":" << run.cacheHits
+                << ",\"executed\":" << run.executed
+                << ",\"failed_rows\":" << run.failedRows
+                << ",\"seconds\":" << jsonNumber(run.seconds)
+                << ",\"trials_per_sec\":"
+                << jsonNumber(run.trialsPerSec())
+                << ",\"cache_hit_rate\":"
+                << jsonNumber(run.cacheHitRate())
+                << ",\"runner\":"
+                << obs::renderRunMetricsJson(runnerMetrics) << "}\n";
+    const std::string metricsError = writeFileAtomic(
+        campaignShardMetricsPath(dir, shard), metricsJson.str());
+    if (!metricsError.empty())
+        lf_warn("shard metrics not written: %s", metricsError.c_str());
 
     if (stats != nullptr)
         *stats = run;
@@ -419,6 +480,61 @@ campaignStatus(const std::string &dir, std::string &rendered)
                   pathExists(campaignSummaryPath(dir)) ? "merged"
                                                        : "-"});
     rendered = table.render();
+
+    // Fleet-wide rates from whatever shard metrics files exist (each
+    // describes that shard's *latest* run). Reporting is best-effort:
+    // an unreadable or partial file just drops out of the sums.
+    int reporting = 0;
+    double executed = 0.0;
+    double cacheHits = 0.0;
+    double seconds = 0.0;
+    for (int shard = 0; shard < manifest.shards; ++shard) {
+        const std::string path = campaignShardMetricsPath(dir, shard);
+        if (!pathExists(path))
+            continue;
+        std::string text;
+        if (!readFileText(path, text).empty())
+            continue;
+        double shardExecuted = 0.0;
+        double shardHits = 0.0;
+        double shardSeconds = 0.0;
+        if (!extractMetricsNumber(text, "executed", shardExecuted) ||
+            !extractMetricsNumber(text, "cache_hits", shardHits) ||
+            !extractMetricsNumber(text, "seconds", shardSeconds)) {
+            continue;
+        }
+        ++reporting;
+        executed += shardExecuted;
+        cacheHits += shardHits;
+        seconds += shardSeconds;
+    }
+    if (reporting > 0) {
+        const double attempted = executed + cacheHits;
+        char secondsText[32];
+        std::snprintf(secondsText, sizeof(secondsText), "%.2f",
+                      seconds);
+        std::ostringstream os;
+        os << rendered;
+        os << "fleet: " << static_cast<std::uint64_t>(executed)
+           << " rows executed in " << secondsText
+           << "s across " << reporting << " reporting shard"
+           << (reporting == 1 ? "" : "s");
+        if (seconds > 0.0) {
+            char rate[32];
+            std::snprintf(rate, sizeof(rate), "%.1f",
+                          executed / seconds);
+            os << " (" << rate << " trials/s)";
+        }
+        os << "\n";
+        char hitRate[32];
+        std::snprintf(hitRate, sizeof(hitRate), "%.1f",
+                      attempted > 0.0 ? 100.0 * cacheHits / attempted
+                                      : 0.0);
+        os << "fleet: cache hit rate " << hitRate << "% ("
+           << static_cast<std::uint64_t>(cacheHits) << " hits / "
+           << static_cast<std::uint64_t>(attempted) << " attempted)\n";
+        rendered = os.str();
+    }
     return "";
 }
 

@@ -49,6 +49,12 @@ std::string campaignManifestPath(const std::string &dir);
 /** Where mergeCampaign() leaves the merged summary. */
 std::string campaignSummaryPath(const std::string &dir);
 
+/** Where runCampaignShard() leaves shard @p shard's RunMetrics JSON
+ *  (`<dir>/shard-<i>.metrics.json`). Purely observational — the
+ *  strict shard result/checkpoint logs never reference it, and
+ *  campaignStatus() tolerates its absence. */
+std::string campaignShardMetricsPath(const std::string &dir, int shard);
+
 /** Global row index of shard-local row @p local of shard @p shard. */
 std::size_t campaignRowIndex(const CampaignManifest &manifest,
                              int shard, std::size_t local);
@@ -153,7 +159,10 @@ std::string mergeCampaign(const std::string &dir, std::string &summary,
 /**
  * Render a per-shard progress table (rows done/total per shard, from
  * the shard logs; a shard with corrupt state reports its error
- * instead of a count). Read-only.
+ * instead of a count). When any shard has left a
+ * campaignShardMetricsPath() file, fleet-wide rate lines (executed
+ * rows, wall time, trials/s, cache hit rate — summed over the latest
+ * run of each shard) are appended after the table. Read-only.
  * @return an error message (manifest problems only) or "".
  */
 std::string campaignStatus(const std::string &dir,

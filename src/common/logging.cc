@@ -1,11 +1,55 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <cstring>
 #include <vector>
 
 namespace lf {
 
 bool verboseLogging = true;
+
+namespace {
+
+/** -1 until the level is first needed; then a LogLevel value. An env
+ *  var is process state, so one lazy parse is enough. */
+int g_logLevel = -1;
+
+int
+parseEnvLevel()
+{
+    const char *env = std::getenv("LF_LOG");
+    if (env == nullptr)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "error") == 0)
+        return static_cast<int>(LogLevel::Error);
+    if (std::strcmp(env, "warn") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(env, "info") == 0)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "debug") == 0)
+        return static_cast<int>(LogLevel::Debug);
+    std::fprintf(stderr,
+                 "warn: unknown LF_LOG level \"%s\""
+                 " (want error|warn|info|debug); using info\n",
+                 env);
+    return static_cast<int>(LogLevel::Info);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    if (g_logLevel < 0)
+        g_logLevel = parseEnvLevel();
+    return static_cast<LogLevel>(g_logLevel);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_logLevel = static_cast<int>(level);
+}
 
 namespace detail {
 
@@ -39,9 +83,11 @@ terminateWith(const char *kind, const std::string &msg, const char *file,
 }
 
 void
-emit(const char *kind, const std::string &msg)
+emit(LogLevel level, const char *kind, const std::string &msg)
 {
-    if (!verboseLogging)
+    if (level > logLevel())
+        return;
+    if (level != LogLevel::Error && !verboseLogging)
         return;
     std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
 }

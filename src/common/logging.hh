@@ -1,12 +1,23 @@
 /**
  * @file
- * gem5-style status and error reporting helpers.
+ * gem5-style status and error reporting helpers, with leveled output.
  *
  * panic()  — an internal invariant of the simulator was violated (a bug
  *            in this library); aborts.
  * fatal()  — the user configured something impossible; exits cleanly.
+ * error()  — a recoverable operational failure (e.g. an unwritable
+ *            output file); always printed.
  * warn()   — something is off but the simulation can continue.
  * inform() — plain status output.
+ * debug()  — chatty diagnostics, off by default.
+ *
+ * Severity is filtered by a process-wide level: messages above the
+ * active level are suppressed. The level comes from the `LF_LOG`
+ * environment variable ("error", "warn", "info", or "debug"; default
+ * "info") the first time anything is emitted, and can be overridden
+ * programmatically with setLogLevel(). The legacy `verboseLogging`
+ * switch still silences inform()/warn() (CLIs' --quiet), but never
+ * error().
  */
 
 #ifndef LF_COMMON_LOGGING_HH
@@ -18,15 +29,33 @@
 
 namespace lf {
 
-/** Global verbosity switch; set false to silence inform()/warn(). */
+/** Global verbosity switch; set false to silence inform()/warn()/
+ *  debug() regardless of the log level (error() stays on). */
 extern bool verboseLogging;
+
+/** Severity threshold: a message prints only when its level is <=
+ *  the active one. Values are ordered, Error lowest. */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Active threshold: setLogLevel() if called, else parsed once from
+ *  the LF_LOG environment variable, else Info. */
+LogLevel logLevel();
+
+/** Override the threshold (takes precedence over LF_LOG). */
+void setLogLevel(LogLevel level);
 
 namespace detail {
 
 [[noreturn]] void terminateWith(const char *kind, const std::string &msg,
                                 const char *file, int line, bool abortRun);
 
-void emit(const char *kind, const std::string &msg);
+void emit(LogLevel level, const char *kind, const std::string &msg);
 
 std::string formatString(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -55,10 +84,22 @@ std::string formatString(const char *fmt, ...)
         }                                                                \
     } while (0)
 
+/** Recoverable operational failure; prints at every level. */
+#define lf_error(...)                                                    \
+    ::lf::detail::emit(::lf::LogLevel::Error, "error",                   \
+        ::lf::detail::formatString(__VA_ARGS__))
+
 #define lf_warn(...)                                                     \
-    ::lf::detail::emit("warn", ::lf::detail::formatString(__VA_ARGS__))
+    ::lf::detail::emit(::lf::LogLevel::Warn, "warn",                     \
+        ::lf::detail::formatString(__VA_ARGS__))
 
 #define lf_inform(...)                                                   \
-    ::lf::detail::emit("info", ::lf::detail::formatString(__VA_ARGS__))
+    ::lf::detail::emit(::lf::LogLevel::Info, "info",                     \
+        ::lf::detail::formatString(__VA_ARGS__))
+
+/** Chatty diagnostics; needs LF_LOG=debug (or setLogLevel). */
+#define lf_debug(...)                                                    \
+    ::lf::detail::emit(::lf::LogLevel::Debug, "debug",                   \
+        ::lf::detail::formatString(__VA_ARGS__))
 
 #endif // LF_COMMON_LOGGING_HH

@@ -26,6 +26,7 @@ FrontendEngine::reset(const FrontendParams &params)
     dsbEnabled_ = true;
     lsdStaticPartition_ = false;
     cycle_ = 0;
+    fastForwardedCycles_ = 0;
     lastSlot_ = kNumThreads - 1;
     poisonDeadline_.assign(static_cast<std::size_t>(params.dsbSets), 0);
     blockClock_ = 0;
@@ -321,6 +322,10 @@ FrontendEngine::deliverLsd(ThreadId tid)
     ts.idq.pushN(ts.lsdBody.data() + ts.lsdPos, n);
     ts.lsdPos += static_cast<std::size_t>(n);
     ts.counters.uopsLsd += static_cast<std::uint64_t>(n);
+    ++ts.counters.idqPushes;
+    ts.counters.idqPushedUops += static_cast<std::uint64_t>(n);
+    ts.counters.idqOccupancyAtPush +=
+        static_cast<std::uint64_t>(ts.idq.size());
     ts.lastSource = DeliveryPath::LSD;
     if (ts.lsdPos == body_uops) {
         ts.lsdPos = 0;
@@ -331,7 +336,12 @@ FrontendEngine::deliverLsd(ThreadId tid)
 void
 FrontendEngine::pushUops(ThreadId tid, const Chunk &chunk)
 {
-    state(tid).idq.pushN(chunk.endOfInst, chunk.uops);
+    ThreadState &ts = state(tid);
+    ts.idq.pushN(chunk.endOfInst, chunk.uops);
+    ++ts.counters.idqPushes;
+    ts.counters.idqPushedUops += static_cast<std::uint64_t>(chunk.uops);
+    ts.counters.idqOccupancyAtPush +=
+        static_cast<std::uint64_t>(ts.idq.size());
 }
 
 void
@@ -360,6 +370,8 @@ FrontendEngine::chargeL1i(ThreadId tid, const Chunk &chunk)
         ++ts.counters.l1iAccesses;
         if (!res.hit) {
             ++ts.counters.l1iMisses;
+            ts.counters.l1iMissStallCycles +=
+                static_cast<std::uint64_t>(res.latency);
             penalty += res.latency;
         }
     }
@@ -417,6 +429,9 @@ FrontendEngine::finishChunk(ThreadId tid, const Chunk &chunk,
         if (predicted != taken) {
             ts.stall += params_.condMispredictPenalty;
             ++ts.counters.condMispredicts;
+            ts.counters.mispredictStallCycles +=
+                static_cast<std::uint64_t>(
+                    params_.condMispredictPenalty);
             bpu_.noteCondMispredict();
         }
         next = taken ? br->target : br->nextAddr();
@@ -429,6 +444,8 @@ FrontendEngine::finishChunk(ThreadId tid, const Chunk &chunk,
             bpu_.btbInsert(br->addr, br->target);
             ts.stall += params_.btbMissPenalty;
             ++ts.counters.btbMisses;
+            ts.counters.btbMissStallCycles +=
+                static_cast<std::uint64_t>(params_.btbMissPenalty);
             bpu_.noteBtbMiss();
         }
         ts.nextIsBlockStart = true;
@@ -565,6 +582,8 @@ FrontendEngine::popUops(ThreadId tid, int max_uops,
     ThreadState &ts = state(tid);
     std::uint64_t insts = 0;
     const int popped = ts.idq.popN(max_uops, insts);
+    if (popped > 0)
+        ++ts.counters.idqPops;
     ts.counters.retiredUops += static_cast<std::uint64_t>(popped);
     ts.counters.retiredInsts += insts;
     insts_retired += insts;

@@ -213,9 +213,14 @@ class FrontendEngine
     void skipCycles(Cycles cycles)
     {
         cycle_ += cycles;
+        fastForwardedCycles_ += cycles;
         for (ThreadState &ts : threads_)
             ts.stall -= ts.stall < cycles ? ts.stall : cycles;
     }
+
+    /** Cycles advanced via skipCycles() instead of ticking — how much
+     *  of the trial's time was provably-idle stall burn. */
+    Cycles fastForwardedCycles() const { return fastForwardedCycles_; }
 
     /**
      * Reinitialize to the pristine post-construction state for
@@ -361,6 +366,7 @@ class FrontendEngine
     bool lsdStaticPartition_ = false;
     std::array<ThreadState, kNumThreads> threads_;
     Cycles cycle_ = 0;
+    Cycles fastForwardedCycles_ = 0;
     int lastSlot_ = kNumThreads - 1;
 
     /** Decodes built for plain setProgram(tid, program) binds, keyed

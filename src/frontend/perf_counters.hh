@@ -35,6 +35,25 @@ struct PerfCounters
     std::uint64_t blocksDelivered = 0;
     /// @}
 
+    /** @name Stall attribution (cycles charged per cause) */
+    /// @{
+    std::uint64_t mispredictStallCycles = 0;
+    std::uint64_t btbMissStallCycles = 0;
+    std::uint64_t l1iMissStallCycles = 0;
+    /// @}
+
+    /** @name IDQ traffic
+     * One "push" is a bulk delivery (a DSB line, MITE chunk, or LSD
+     * replay burst); occupancyAtPush accumulates the queue depth right
+     * after each push, so occupancyAtPush / idqPushes is the mean
+     * delivery-time backlog. */
+    /// @{
+    std::uint64_t idqPushes = 0;
+    std::uint64_t idqPushedUops = 0;
+    std::uint64_t idqPops = 0;
+    std::uint64_t idqOccupancyAtPush = 0;
+    /// @}
+
     /** @name Cache / prediction events */
     /// @{
     std::uint64_t l1iAccesses = 0;
@@ -74,6 +93,17 @@ struct PerfCounters
         d.lsdEngagements = lsdEngagements - earlier.lsdEngagements;
         d.lsdFlushes = lsdFlushes - earlier.lsdFlushes;
         d.blocksDelivered = blocksDelivered - earlier.blocksDelivered;
+        d.mispredictStallCycles =
+            mispredictStallCycles - earlier.mispredictStallCycles;
+        d.btbMissStallCycles =
+            btbMissStallCycles - earlier.btbMissStallCycles;
+        d.l1iMissStallCycles =
+            l1iMissStallCycles - earlier.l1iMissStallCycles;
+        d.idqPushes = idqPushes - earlier.idqPushes;
+        d.idqPushedUops = idqPushedUops - earlier.idqPushedUops;
+        d.idqPops = idqPops - earlier.idqPops;
+        d.idqOccupancyAtPush =
+            idqOccupancyAtPush - earlier.idqOccupancyAtPush;
         d.l1iAccesses = l1iAccesses - earlier.l1iAccesses;
         d.l1iMisses = l1iMisses - earlier.l1iMisses;
         d.btbMisses = btbMisses - earlier.btbMisses;

@@ -14,6 +14,25 @@ namespace {
 std::atomic<bool> g_programCacheEnabled{true};
 std::atomic<bool> g_chunkTableReuseEnabled{true};
 
+std::atomic<std::uint64_t> g_preparedHits{0};
+std::atomic<std::uint64_t> g_preparedMisses{0};
+thread_local std::uint64_t t_preparedHits = 0;
+thread_local std::uint64_t t_preparedMisses = 0;
+
+void
+countHit()
+{
+    g_preparedHits.fetch_add(1, std::memory_order_relaxed);
+    ++t_preparedHits;
+}
+
+void
+countMiss()
+{
+    g_preparedMisses.fetch_add(1, std::memory_order_relaxed);
+    ++t_preparedMisses;
+}
+
 struct PreparedCache
 {
     std::mutex mutex;
@@ -36,14 +55,19 @@ template <typename BuildFn>
 PreparedChainPtr
 memoise(const std::string &key, BuildFn &&build)
 {
-    if (!g_programCacheEnabled.load(std::memory_order_relaxed))
+    if (!g_programCacheEnabled.load(std::memory_order_relaxed)) {
+        countMiss();
         return build();
+    }
     {
         std::lock_guard<std::mutex> lock(cache().mutex);
         auto it = cache().entries.find(key);
-        if (it != cache().entries.end())
+        if (it != cache().entries.end()) {
+            countHit();
             return it->second;
+        }
     }
+    countMiss();
     PreparedChainPtr built = build();
     std::lock_guard<std::mutex> lock(cache().mutex);
     auto [it, inserted] = cache().entries.emplace(key, built);
@@ -151,6 +175,30 @@ bool
 chunkTableReuseEnabled()
 {
     return g_chunkTableReuseEnabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+preparedCacheHits()
+{
+    return g_preparedHits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+preparedCacheMisses()
+{
+    return g_preparedMisses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+preparedCacheThreadHits()
+{
+    return t_preparedHits;
+}
+
+std::uint64_t
+preparedCacheThreadMisses()
+{
+    return t_preparedMisses;
 }
 
 std::size_t

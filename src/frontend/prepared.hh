@@ -84,6 +84,20 @@ bool chunkTableReuseEnabled();
 /** Entries currently in the process-wide prepared-chain cache. */
 std::size_t programCacheSize();
 
+/** @name Prepared-cache hit/miss accounting (src/obs)
+ * A hit is a prepare*() call served from the process-wide cache; a
+ * miss built a chain (including every call while the cache is
+ * disabled). The process-wide totals feed RunMetrics; the thread-
+ * local pair attributes hits to a single trial — runner workers
+ * execute trials serially, so a before/after delta on the calling
+ * thread is exactly that trial's traffic. */
+/// @{
+std::uint64_t preparedCacheHits();
+std::uint64_t preparedCacheMisses();
+std::uint64_t preparedCacheThreadHits();
+std::uint64_t preparedCacheThreadMisses();
+/// @}
+
 /** Drop every cached chain (outstanding shared_ptrs stay valid). */
 void clearProgramCache();
 /// @}

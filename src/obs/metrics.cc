@@ -1,0 +1,55 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "run/sinks.hh"
+
+namespace lf {
+namespace obs {
+
+std::string
+renderRunMetricsJson(const RunMetrics &m)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"lf_run_metrics_v1\""
+       << ",\"trials\":" << m.trials
+       << ",\"ok_trials\":" << m.okTrials
+       << ",\"error_trials\":" << m.errorTrials
+       << ",\"skipped_trials\":" << m.skippedTrials
+       << ",\"workers\":" << m.workers
+       << ",\"seconds\":" << jsonNumber(m.seconds)
+       << ",\"trials_per_sec\":" << jsonNumber(m.trialsPerSec)
+       << ",\"worker_parks\":" << m.workerParks
+       << ",\"consumer_parks\":" << m.consumerParks
+       << ",\"wake_broadcasts\":" << m.wakeBroadcasts
+       << ",\"prepared_cache_hits\":" << m.preparedCacheHits
+       << ",\"prepared_cache_misses\":" << m.preparedCacheMisses
+       << ",\"prepared_cache_hit_rate\":"
+       << jsonNumber(m.preparedCacheHitRate())
+       << ",\"reorder_window\":" << m.reorderWindow
+       << ",\"window_occupancy_histogram\":[";
+    for (std::size_t b = 0; b < RunMetrics::kOccupancyBuckets; ++b) {
+        if (b > 0)
+            os << ',';
+        os << m.windowOccupancy[b];
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+runMetricsOneLiner(const RunMetrics &m)
+{
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%llu trials in %.2fs (%.1f trials/s, cache hit"
+                  " %.0f%%, %llu worker parks)",
+                  static_cast<unsigned long long>(m.trials), m.seconds,
+                  m.trialsPerSec, 100.0 * m.preparedCacheHitRate(),
+                  static_cast<unsigned long long>(m.workerParks));
+    return line;
+}
+
+} // namespace obs
+} // namespace lf

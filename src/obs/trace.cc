@@ -1,0 +1,199 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace lf {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_traceEnabled{false};
+
+struct TraceEvent
+{
+    const char *name;
+    char phase;       // 'X' complete, 'i' instant, 'C' counter
+    std::uint64_t ts; // microseconds
+    std::uint64_t dur;
+    std::uint64_t arg;
+    bool hasArg;
+};
+
+/** Per-thread event buffer; written only by its owning thread. The
+ *  cap bounds trace memory at ~3 MiB per recording thread. */
+constexpr std::size_t kRingCapacity = 1u << 16;
+
+struct Ring
+{
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<Ring>> rings;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+Ring &
+threadRing()
+{
+    thread_local std::shared_ptr<Ring> ring = [] {
+        auto fresh = std::make_shared<Ring>();
+        std::lock_guard<std::mutex> lock(registry().mutex);
+        fresh->tid =
+            static_cast<std::uint32_t>(registry().rings.size());
+        registry().rings.push_back(fresh);
+        return fresh;
+    }();
+    return *ring;
+}
+
+void
+record(const char *name, char phase, std::uint64_t ts,
+       std::uint64_t dur, std::uint64_t arg, bool has_arg)
+{
+    Ring &ring = threadRing();
+    if (ring.events.size() >= kRingCapacity) {
+        ++ring.dropped;
+        return;
+    }
+    if (ring.events.capacity() == 0)
+        ring.events.reserve(1024);
+    ring.events.push_back({name, phase, ts, dur, arg, has_arg});
+}
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+void
+setTraceEnabled(bool on)
+{
+    if (on)
+        traceEpoch(); // pin the epoch before the first event
+    g_traceEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+traceEnabled()
+{
+    return g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+traceNowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - traceEpoch())
+            .count());
+}
+
+void
+traceComplete(const char *name, std::uint64_t start_us,
+              std::uint64_t arg, bool has_arg)
+{
+    if (!traceEnabled())
+        return;
+    const std::uint64_t now = traceNowUs();
+    record(name, 'X', start_us,
+           now > start_us ? now - start_us : 0, arg, has_arg);
+}
+
+void
+traceInstant(const char *name)
+{
+    if (!traceEnabled())
+        return;
+    record(name, 'i', traceNowUs(), 0, 0, false);
+}
+
+void
+traceCounter(const char *name, std::uint64_t value)
+{
+    if (!traceEnabled())
+        return;
+    record(name, 'C', traceNowUs(), 0, value, true);
+}
+
+std::size_t
+traceEventCount()
+{
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    std::size_t count = 0;
+    for (const auto &ring : registry().rings)
+        count += ring->events.size();
+    return count;
+}
+
+std::size_t
+traceDroppedEvents()
+{
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    std::size_t dropped = 0;
+    for (const auto &ring : registry().rings)
+        dropped += static_cast<std::size_t>(ring->dropped);
+    return dropped;
+}
+
+void
+clearTrace()
+{
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    for (const auto &ring : registry().rings) {
+        ring->events.clear();
+        ring->dropped = 0;
+    }
+}
+
+std::string
+renderTraceJson()
+{
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &ring : registry().rings) {
+        for (const TraceEvent &ev : ring->events) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"name\":\"" << ev.name << "\",\"cat\":\"lf\""
+               << ",\"ph\":\"" << ev.phase << "\",\"ts\":" << ev.ts
+               << ",\"pid\":1,\"tid\":" << ring->tid;
+            if (ev.phase == 'X')
+                os << ",\"dur\":" << ev.dur;
+            if (ev.phase == 'i')
+                os << ",\"s\":\"t\"";
+            if (ev.phase == 'C')
+                os << ",\"args\":{\"value\":" << ev.arg << "}";
+            else if (ev.hasArg)
+                os << ",\"args\":{\"v\":" << ev.arg << "}";
+            os << '}';
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+} // namespace obs
+} // namespace lf

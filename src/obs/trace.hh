@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded per-thread event tracing, exported as Chrome/Perfetto
+ * `trace_event` JSON (chrome://tracing and ui.perfetto.dev both load
+ * the output of renderTraceJson()).
+ *
+ * Design constraints, in order:
+ *  - disabled cost ~ one relaxed atomic load per would-be event
+ *    (every record function checks traceEnabled() first);
+ *  - recording never allocates past the fixed per-thread ring
+ *    capacity and never takes a lock after the ring exists — each
+ *    ring is written only by its owning thread, so the runner's
+ *    workers trace without contending;
+ *  - bounded: a full ring drops further events (and counts the
+ *    drops) rather than growing or overwriting history.
+ *
+ * Event names must be string literals (the ring stores the pointer,
+ * not a copy). renderTraceJson() must only be called while no other
+ * thread is recording — in practice after ExperimentRunner::run()
+ * returned, whose thread join supplies the needed happens-before.
+ */
+
+#ifndef LF_OBS_TRACE_HH
+#define LF_OBS_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lf {
+namespace obs {
+
+/** @name Trace switch (process-global) */
+/// @{
+void setTraceEnabled(bool on);
+bool traceEnabled();
+/// @}
+
+/** Microseconds since the process's trace epoch (steady clock). */
+std::uint64_t traceNowUs();
+
+/** Record a complete ('X') span from @p start_us to now. With
+ *  @p has_arg, @p arg is exported as args.v (e.g. a trial index). */
+void traceComplete(const char *name, std::uint64_t start_us,
+                   std::uint64_t arg = 0, bool has_arg = false);
+
+/** Record an instant ('i') event. */
+void traceInstant(const char *name);
+
+/** Record a counter ('C') sample (args.value = @p value). */
+void traceCounter(const char *name, std::uint64_t value);
+
+/** RAII complete-event span; records nothing when tracing is off at
+ *  construction time. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name)
+        : name_(traceEnabled() ? name : nullptr),
+          start_(name_ != nullptr ? traceNowUs() : 0)
+    {
+    }
+    ~TraceScope()
+    {
+        if (name_ != nullptr)
+            traceComplete(name_, start_);
+    }
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name_;
+    std::uint64_t start_;
+};
+
+/** Events recorded so far (all threads). */
+std::size_t traceEventCount();
+
+/** Events dropped because a thread's ring was full. */
+std::size_t traceDroppedEvents();
+
+/** Drop every recorded event (ring capacity is retained). Call
+ *  between runs, under the same no-concurrent-recording contract as
+ *  renderTraceJson(). */
+void clearTrace();
+
+/** Render everything recorded as one Chrome trace_event JSON object:
+ *  {"traceEvents":[...],"displayTimeUnit":"ms"}. */
+std::string renderTraceJson();
+
+} // namespace obs
+} // namespace lf
+
+#endif // LF_OBS_TRACE_HH

@@ -9,6 +9,7 @@
 #include "common/table.hh"
 #include "defense/defense.hh"
 #include "noise/environment.hh"
+#include "obs/counters.hh"
 #include "sim/cpu_model.hh"
 
 namespace lf {
@@ -236,6 +237,16 @@ renderOverrideKeyCatalog()
     return os.str();
 }
 
+std::string
+renderCounterCatalog()
+{
+    TextTable table("Microarchitectural counters");
+    table.setHeader({"Name", "Description"});
+    for (const obs::CounterInfo &info : obs::counterCatalog())
+        table.addRow({info.name, info.description});
+    return table.render();
+}
+
 namespace {
 
 /** Span of the moving rate window (seconds). */
@@ -337,6 +348,24 @@ ProgressMeter::finish()
 {
     if (drew_ && sink_ != nullptr)
         std::fprintf(sink_, "\n");
+    drew_ = false;
+}
+
+void
+ProgressMeter::finishWith(const std::string &line)
+{
+    if (sink_ == nullptr) {
+        drew_ = false;
+        return;
+    }
+    if (drew_) {
+        // Pad past the longest frame update() draws (~100 chars plus
+        // the caller extra) so no tail of the old frame survives.
+        std::fprintf(sink_, "\r[%s] %-110s\n", label_.c_str(),
+                     line.c_str());
+    } else {
+        std::fprintf(sink_, "[%s] %s\n", label_.c_str(), line.c_str());
+    }
     drew_ = false;
 }
 

@@ -112,6 +112,14 @@ class ProgressMeter
     /** Terminate the progress line (newline) if anything was drawn. */
     void finish();
 
+    /** Terminate by overwriting the progress line with @p line (the
+     *  final frame becomes a durable summary — `lf_run --progress`
+     *  ends on the RunMetrics one-liner instead of a stale ETA). The
+     *  replacement is padded to cover the old frame, then newline-
+     *  terminated. If nothing was ever drawn the line still prints,
+     *  so short runs get their summary too. */
+    void finishWith(const std::string &line);
+
     /** @name Last computed values (for tests and callers) */
     /// @{
     /** Windowed trials/s as of the last update (0 until the window
@@ -158,6 +166,15 @@ std::string renderChannelCatalog();
  * appliers use, so the listing cannot drift from the parser.
  */
 std::string renderOverrideKeyCatalog();
+
+/**
+ * The counter catalog the CLI prints for --list-counters: every
+ * obs::CounterSet field (name and description), rendered from
+ * obs::counterCatalog() itself so the listing cannot drift from what
+ * the counters actually record. scripts/check_docs.sh diffs this
+ * against docs/OBSERVABILITY.md.
+ */
+std::string renderCounterCatalog();
 
 } // namespace lf
 

@@ -1,6 +1,8 @@
 #include "run/experiment.hh"
 
 #include "common/logging.hh"
+#include "frontend/prepared.hh"
+#include "obs/trace.hh"
 #include "sim/cpu_model.hh"
 
 namespace lf {
@@ -253,14 +255,42 @@ runExperiment(const ExperimentSpec &spec, TrialContext &ctx)
     ExperimentResult out;
     out.spec = spec;
 
-    out.error = resolveTrial(spec, ctx, &out.skipped);
+    // Counter collection and trace phases only *read* (and the
+    // prepared-cache delta reads thread-local tallies), so results
+    // are bit-identical with either switched on or off.
+    const bool counters_on = obs::countersEnabled();
+    const std::uint64_t prep_hits =
+        counters_on ? preparedCacheThreadHits() : 0;
+    const std::uint64_t prep_misses =
+        counters_on ? preparedCacheThreadMisses() : 0;
+
+    {
+        obs::TraceScope span("resolve");
+        out.error = resolveTrial(spec, ctx, &out.skipped);
+    }
     if (!out.error.empty())
         return out;
 
+    const std::uint64_t prepare_start =
+        obs::traceEnabled() ? obs::traceNowUs() : 0;
     auto channel = makeChannel(spec.channel, ctx);
+    obs::traceComplete("prepare", prepare_start);
+    const std::uint64_t transmit_start =
+        obs::traceEnabled() ? obs::traceNowUs() : 0;
     out.result = channel->transmit(specMessage(spec), ctx);
+    obs::traceComplete("transmit", transmit_start);
     out.extras = ctx.extras();
     out.ok = true;
+
+    if (counters_on) {
+        auto set = std::make_shared<obs::CounterSet>(
+            obs::collectCoreCounters(ctx.core()));
+        set->preparedCacheHits =
+            preparedCacheThreadHits() - prep_hits;
+        set->preparedCacheMisses =
+            preparedCacheThreadMisses() - prep_misses;
+        out.counters = std::move(set);
+    }
     return out;
 }
 

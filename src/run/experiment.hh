@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "core/trial_context.hh"
 #include "defense/defense.hh"
 #include "noise/environment.hh"
+#include "obs/counters.hh"
 
 namespace lf {
 
@@ -79,6 +81,11 @@ struct ExperimentResult
     /** Resolved family-specific knobs the trial actually ran with
      *  (complements ChannelResult::config). Valid when ok. */
     ChannelExtras extras;
+    /** Per-trial counter snapshot; non-null only for ok trials run
+     *  with obs::setCountersEnabled(true). Never serialized by the
+     *  standard sinks — enabling counters leaves every sink's bytes
+     *  untouched (the on/off bit-identity contract). */
+    std::shared_ptr<const obs::CounterSet> counters;
 };
 
 /**

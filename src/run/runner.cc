@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -11,6 +12,9 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "frontend/prepared.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace lf {
 
@@ -88,6 +92,44 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
     const int workers = static_cast<int>(
         std::min<std::size_t>(n, static_cast<std::size_t>(threads_)));
 
+    // Metrics are accumulated locally and copied into the sink at the
+    // end, mirroring the StreamStats contract. The prepared-cache
+    // totals are process-wide, so the delta attributes concurrent
+    // runs' traffic too — one runner at a time, the normal case, is
+    // exact.
+    obs::RunMetrics metrics;
+    const std::uint64_t prep_hits =
+        metricsSink_ != nullptr ? preparedCacheHits() : 0;
+    const std::uint64_t prep_misses =
+        metricsSink_ != nullptr ? preparedCacheMisses() : 0;
+    const auto run_start = std::chrono::steady_clock::now();
+    const auto count_outcome = [&](const ExperimentResult &res) {
+        ++metrics.trials;
+        if (res.skipped)
+            ++metrics.skippedTrials;
+        else if (res.ok)
+            ++metrics.okTrials;
+        else
+            ++metrics.errorTrials;
+    };
+    const auto finish_metrics = [&](std::size_t window) {
+        if (metricsSink_ == nullptr)
+            return;
+        metrics.workers = workers;
+        metrics.reorderWindow = window;
+        metrics.preparedCacheHits = preparedCacheHits() - prep_hits;
+        metrics.preparedCacheMisses =
+            preparedCacheMisses() - prep_misses;
+        metrics.seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              run_start)
+                              .count();
+        metrics.trialsPerSec = metrics.seconds > 0.0
+            ? static_cast<double>(metrics.trials) / metrics.seconds
+            : 0.0;
+        *metricsSink_ = metrics;
+    };
+
     if (workers <= 1) {
         // Single-threaded: compute and deliver inline. Both stream
         // orders coincide with spec order.
@@ -96,10 +138,22 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
         for (std::size_t i = 0; i < n; ++i) {
             if (trialProbe_)
                 trialProbe_(i, i);
-            on_result(runOne(specs[i], reuse));
+            const std::uint64_t trial_start =
+                obs::traceEnabled() ? obs::traceNowUs() : 0;
+            const ExperimentResult res = runOne(specs[i], reuse);
+            obs::traceComplete("trial", trial_start, i, true);
+            if (metricsSink_ != nullptr) {
+                count_outcome(res);
+                ++metrics.windowOccupancy[0];
+            }
+            const std::uint64_t deliver_start =
+                obs::traceEnabled() ? obs::traceNowUs() : 0;
+            on_result(res);
+            obs::traceComplete("deliver", deliver_start);
         }
         if (statsSink_ != nullptr)
             *statsSink_ = StreamStats{};
+        finish_metrics(reorderWindowFor(1));
         return;
     }
 
@@ -148,6 +202,7 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
             if (slot.seq.load() != i) {
                 // A full window ahead of delivery: park until the
                 // consumer recycles this slot.
+                obs::TraceScope park_span("worker_park");
                 std::unique_lock<std::mutex> lock(mutex);
                 workerParks.fetch_add(1, std::memory_order_relaxed);
                 blockedWorkers.fetch_add(1);
@@ -160,7 +215,10 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
                 return;
             if (trialProbe_)
                 trialProbe_(i, delivered.load());
+            const std::uint64_t trial_start =
+                obs::traceEnabled() ? obs::traceNowUs() : 0;
             slot.result = runOne(specs[i], reuse);
+            obs::traceComplete("trial", trial_start, i, true);
             slot.seq.store(i + 1); // publish (seq_cst)
             if (consumerParked.load()) {
                 // One consumer; taking the mutex serialises with its
@@ -193,6 +251,7 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
     const auto consumerWait = [&](auto &&pred) {
         if (pred())
             return;
+        obs::TraceScope park_span("consumer_park");
         consumerParked.store(true);
         consumerParks.fetch_add(1, std::memory_order_relaxed);
         {
@@ -210,6 +269,23 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
     const auto deliver = [&](Slot &slot, std::uint64_t recycled_seq) {
         ExperimentResult result = std::move(slot.result);
         slot.result = ExperimentResult{};
+        if (metricsSink_ != nullptr || obs::traceEnabled()) {
+            // Window occupancy at this delivery: claimed tickets not
+            // yet handed to the callback. Sampled on the consumer
+            // only, so the histogram needs no synchronisation.
+            const std::uint64_t claimed =
+                std::min<std::uint64_t>(next.load(), n);
+            const std::uint64_t occ = claimed - delivered.load();
+            obs::traceCounter("window_occupancy", occ);
+            if (metricsSink_ != nullptr) {
+                count_outcome(result);
+                const std::size_t bucket = std::min<std::size_t>(
+                    static_cast<std::size_t>(occ) *
+                        obs::RunMetrics::kOccupancyBuckets / window,
+                    obs::RunMetrics::kOccupancyBuckets - 1);
+                ++metrics.windowOccupancy[bucket];
+            }
+        }
         delivered.fetch_add(1);
         slot.seq.store(recycled_seq); // recycle (seq_cst)
         if (blockedWorkers.load() > 0) {
@@ -265,6 +341,12 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs,
         statsSink_->consumerParks = consumerParks.load();
         statsSink_->wakeBroadcasts = wakeBroadcasts.load();
     }
+    if (metricsSink_ != nullptr) {
+        metrics.workerParks = workerParks.load();
+        metrics.consumerParks = consumerParks.load();
+        metrics.wakeBroadcasts = wakeBroadcasts.load();
+    }
+    finish_metrics(window);
 }
 
 std::vector<ExperimentResult>

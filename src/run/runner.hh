@@ -44,6 +44,10 @@
 
 namespace lf {
 
+namespace obs {
+struct RunMetrics;
+}
+
 /** How a streaming run() hands results to the callback. */
 enum class StreamOrder
 {
@@ -124,6 +128,15 @@ class ExperimentRunner
      *  accounting). The sink must outlive the runs. */
     void setStatsSink(StreamStats *sink) { statsSink_ = sink; }
 
+    /** Overwrite @p sink with the full obs::RunMetrics report
+     *  (throughput, outcome counts, park/broadcast totals, prepared-
+     *  cache traffic, reorder-window occupancy histogram) at the end
+     *  of every non-empty streaming run(). Purely observational —
+     *  results never depend on whether a sink is installed. Null (the
+     *  default) disables the accounting; the sink must outlive the
+     *  runs. */
+    void setMetricsSink(obs::RunMetrics *sink) { metricsSink_ = sink; }
+
     /** Invoked on the runner's calling thread, once per spec. */
     using ResultCallback = std::function<void(const ExperimentResult &)>;
 
@@ -154,6 +167,7 @@ class ExperimentRunner
     bool coreReuse_ = true;
     TrialProbe trialProbe_;
     StreamStats *statsSink_ = nullptr;
+    obs::RunMetrics *metricsSink_ = nullptr;
 };
 
 } // namespace lf

@@ -49,6 +49,7 @@ class Core
     std::uint64_t seed() const { return seed_; }
     FrontendEngine &frontend() { return engine_; }
     const FrontendEngine &frontend() const { return engine_; }
+    const Backend &backend() const { return backend_; }
     Rng &rng() { return rng_; }
 
     /** @name Thread control (updates SMT partitioning) */

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Observability layer tests: the counter catalog's integrity, counter
+ * collection through runExperiment(), trace recording and the
+ * Chrome-trace JSON rendering, RunMetrics rendering, and the logging
+ * level machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/counters.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "run/experiment.hh"
+#include "run/runner.hh"
+
+namespace lf {
+namespace {
+
+ExperimentSpec
+quickSpec()
+{
+    ExperimentSpec spec;
+    spec.channel = "nonmt-fast-eviction";
+    spec.cpu = "Gold 6226";
+    spec.seed = 11;
+    spec.messageBits = 4;
+    spec.preambleBits = 4;
+    return spec;
+}
+
+TEST(CounterCatalog, NamesAreUniqueSnakeCaseAndNonEmpty)
+{
+    const auto &catalog = obs::counterCatalog();
+    ASSERT_FALSE(catalog.empty());
+    std::set<std::string> names;
+    std::vector<std::uint64_t obs::CounterSet::*> fields;
+    for (const obs::CounterInfo &info : catalog) {
+        ASSERT_NE(info.name, nullptr);
+        ASSERT_NE(info.description, nullptr);
+        const std::string name = info.name;
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(std::string(info.description).size() > 0) << name;
+        // snake_case: lowercase letters, digits, underscores only.
+        for (const char c : name) {
+            EXPECT_TRUE((std::islower(static_cast<unsigned char>(c)) !=
+                         0) ||
+                        (std::isdigit(static_cast<unsigned char>(c)) !=
+                         0) ||
+                        c == '_')
+                << name;
+        }
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name " << name;
+        for (const auto field : fields)
+            EXPECT_NE(field, info.field) << "duplicate field for "
+                                         << name;
+        fields.push_back(info.field);
+    }
+}
+
+TEST(Counters, DisabledByDefaultAndScopeRestores)
+{
+    EXPECT_FALSE(obs::countersEnabled());
+    {
+        obs::CounterScope scope(true);
+        EXPECT_TRUE(obs::countersEnabled());
+        {
+            obs::CounterScope inner(false);
+            EXPECT_FALSE(obs::countersEnabled());
+        }
+        EXPECT_TRUE(obs::countersEnabled());
+    }
+    EXPECT_FALSE(obs::countersEnabled());
+}
+
+TEST(Counters, SnapshotLandsOnOkTrialsAndLooksPlausible)
+{
+    obs::CounterScope scope(true);
+    const ExperimentResult res = runExperiment(quickSpec());
+    ASSERT_TRUE(res.ok);
+    ASSERT_NE(res.counters, nullptr);
+    const obs::CounterSet &c = *res.counters;
+    // A real trial delivered uops, took cycles, and retired work.
+    EXPECT_GT(c.uopsMite + c.uopsDsb + c.uopsLsd, 0u);
+    EXPECT_GT(c.cycles, 0u);
+    EXPECT_GT(c.retiredInsts, 0u);
+    EXPECT_GT(c.idqPushes, 0u);
+    EXPECT_GE(c.idqPushedUops, c.idqPushes); // >= 1 uop per push
+    EXPECT_GT(c.l1iAccesses, 0u);
+    EXPECT_GT(c.retireSlotCycles, 0u);
+    EXPECT_GE(c.retireSlotsUsed, c.retiredUops);
+    // The eviction channel's whole mechanism is DSB traffic.
+    EXPECT_GT(c.dsbHits + c.dsbMisses, 0u);
+    // The trial either built its chains (miss) or reused them (hit).
+    EXPECT_GT(c.preparedCacheHits + c.preparedCacheMisses, 0u);
+}
+
+TEST(Counters, NullWhenDisabledOrTrialFails)
+{
+    {
+        obs::CounterScope scope(false);
+        const ExperimentResult res = runExperiment(quickSpec());
+        ASSERT_TRUE(res.ok);
+        EXPECT_EQ(res.counters, nullptr);
+    }
+    {
+        obs::CounterScope scope(true);
+        ExperimentSpec bad = quickSpec();
+        bad.overrides["d"] = 0;
+        const ExperimentResult res = runExperiment(bad);
+        EXPECT_FALSE(res.ok);
+        EXPECT_EQ(res.counters, nullptr);
+    }
+}
+
+TEST(Counters, JsonRenderEmitsEveryCatalogName)
+{
+    obs::CounterSet set;
+    set.uopsMite = 42;
+    const std::string json = obs::renderCounterSetJson(set);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"uops_mite\":42"), std::string::npos);
+    for (const obs::CounterInfo &info : obs::counterCatalog()) {
+        EXPECT_NE(json.find("\"" + std::string(info.name) + "\":"),
+                  std::string::npos)
+            << info.name;
+    }
+}
+
+TEST(Trace, RecordsSpansAndRendersValidChromeJson)
+{
+    obs::setTraceEnabled(true);
+    obs::clearTrace();
+
+    // Record from several threads: per-thread rings, one tid each.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 5; ++i) {
+                obs::TraceScope span("unit_span");
+                obs::traceInstant("unit_instant");
+                obs::traceCounter("unit_counter",
+                                  static_cast<std::uint64_t>(i));
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    obs::setTraceEnabled(false);
+
+    EXPECT_EQ(obs::traceEventCount(), 3u * 5u * 3u);
+    EXPECT_EQ(obs::traceDroppedEvents(), 0u);
+
+    const std::string json = obs::renderTraceJson();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"unit_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    // Structurally balanced (no string values contain braces here).
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    obs::clearTrace();
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST(Trace, DisabledRecordingIsANoOpAndRingIsBounded)
+{
+    obs::clearTrace();
+    EXPECT_FALSE(obs::traceEnabled());
+    obs::traceInstant("ignored");
+    obs::traceCounter("ignored", 1);
+    {
+        obs::TraceScope span("ignored");
+    }
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+
+    // Overflow the single-thread ring: drops are counted, capacity
+    // holds.
+    obs::setTraceEnabled(true);
+    const std::size_t burst = (1u << 16) + 500u;
+    for (std::size_t i = 0; i < burst; ++i)
+        obs::traceInstant("flood");
+    obs::setTraceEnabled(false);
+    EXPECT_EQ(obs::traceEventCount(), std::size_t{1} << 16);
+    EXPECT_EQ(obs::traceDroppedEvents(), 500u);
+    obs::clearTrace();
+}
+
+TEST(Trace, RunnerEmitsTrialSpansAtEveryThreadCount)
+{
+    const std::vector<ExperimentSpec> specs =
+        expandTrials(quickSpec(), 12);
+
+    for (const int threads : {1, 4}) {
+        obs::setTraceEnabled(true);
+        obs::clearTrace();
+        ExperimentRunner(threads).run(specs);
+        obs::setTraceEnabled(false);
+        const std::string json = obs::renderTraceJson();
+        EXPECT_NE(json.find("\"name\":\"trial\""), std::string::npos)
+            << threads;
+        EXPECT_NE(json.find("\"name\":\"resolve\""), std::string::npos)
+            << threads;
+        EXPECT_NE(json.find("\"name\":\"transmit\""),
+                  std::string::npos)
+            << threads;
+        obs::clearTrace();
+    }
+}
+
+TEST(RunMetrics, RenderAndOneLinerCoverTheSchema)
+{
+    obs::RunMetrics m;
+    m.trials = 10;
+    m.okTrials = 8;
+    m.errorTrials = 1;
+    m.skippedTrials = 1;
+    m.workers = 4;
+    m.seconds = 2.0;
+    m.trialsPerSec = 5.0;
+    m.workerParks = 3;
+    m.preparedCacheHits = 9;
+    m.preparedCacheMisses = 1;
+    m.reorderWindow = 64;
+    m.windowOccupancy[0] = 7;
+    m.windowOccupancy[7] = 3;
+
+    const std::string json = obs::renderRunMetricsJson(m);
+    EXPECT_NE(json.find("\"schema\":\"lf_run_metrics_v1\""),
+              std::string::npos);
+    for (const char *key :
+         {"trials", "ok_trials", "error_trials", "skipped_trials",
+          "workers", "seconds", "trials_per_sec", "worker_parks",
+          "consumer_parks", "wake_broadcasts", "prepared_cache_hits",
+          "prepared_cache_misses", "prepared_cache_hit_rate",
+          "reorder_window", "window_occupancy_histogram"}) {
+        EXPECT_NE(json.find("\"" + std::string(key) + "\":"),
+                  std::string::npos)
+            << key;
+    }
+    EXPECT_NE(json.find("[7,0,0,0,0,0,0,3]"), std::string::npos);
+    EXPECT_DOUBLE_EQ(m.preparedCacheHitRate(), 0.9);
+
+    const std::string line = obs::runMetricsOneLiner(m);
+    EXPECT_NE(line.find("10 trials"), std::string::npos);
+    EXPECT_NE(line.find("5.0 trials/s"), std::string::npos);
+    EXPECT_NE(line.find("90%"), std::string::npos);
+    EXPECT_NE(line.find("3 worker parks"), std::string::npos);
+}
+
+TEST(Logging, LevelsFilterAndSetLogLevelOverrides)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    EXPECT_LT(static_cast<int>(LogLevel::Error),
+              static_cast<int>(LogLevel::Warn));
+    EXPECT_LT(static_cast<int>(LogLevel::Warn),
+              static_cast<int>(LogLevel::Info));
+    EXPECT_LT(static_cast<int>(LogLevel::Info),
+              static_cast<int>(LogLevel::Debug));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace lf

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "frontend/prepared.hh"
+#include "obs/counters.hh"
 #include "run/runner.hh"
 #include "run/sinks.hh"
 #include "run/sweep.hh"
@@ -258,6 +259,44 @@ TEST(StreamingRunner, ProgramCacheOnAndOffAreBitIdentical)
             EXPECT_EQ(jsonOf(ExperimentRunner(threads).run(specs)),
                       cached_json)
                 << "cache off, threads=" << threads;
+        }
+    }
+}
+
+TEST(StreamingRunner, CountersOnAndOffAreBitIdentical)
+{
+    // The obs::CounterSet hooks are purely observational: the
+    // registry-wide grid must render the same bytes with counter
+    // collection forced on and forced off, at every thread count —
+    // the per-trial snapshots land only in ExperimentResult::counters,
+    // which no standard sink serializes. This is the overhead
+    // contract's correctness half (the 2% throughput half gates in
+    // BENCH_runner_throughput.json).
+    const auto &specs = registryGrid();
+    std::string off_json;
+    {
+        obs::CounterScope scope(false);
+        off_json = jsonOf(ExperimentRunner(1).run(specs));
+    }
+    for (const int threads : {1, 4, 8}) {
+        {
+            obs::CounterScope scope(true);
+            const auto results = ExperimentRunner(threads).run(specs);
+            EXPECT_EQ(jsonOf(results), off_json)
+                << "counters on, threads=" << threads;
+            // And the snapshots themselves are there for ok trials.
+            for (const ExperimentResult &res : results) {
+                EXPECT_EQ(res.counters != nullptr, res.ok)
+                    << res.spec.channel;
+            }
+        }
+        {
+            obs::CounterScope scope(false);
+            const auto results = ExperimentRunner(threads).run(specs);
+            EXPECT_EQ(jsonOf(results), off_json)
+                << "counters off, threads=" << threads;
+            for (const ExperimentResult &res : results)
+                EXPECT_EQ(res.counters, nullptr);
         }
     }
 }

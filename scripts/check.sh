@@ -23,10 +23,12 @@ cmake --build build-asan -j "${JOBS}" \
              lf_obs_test_obs lf_run_test_sweep lf_run_test_cli \
              lf_noise_test_environment lf_defense_test_defense \
              lf_campaign_test_campaign lf_campaign_test_campaign_files \
+             lf_sim_test_snapshot \
              lf_run lf_campaign table_defenses campaign_overhead
 ./build-asan/lf_core_test_channel_registry
 ./build-asan/lf_run_test_runner
 ./build-asan/lf_run_test_streaming
+./build-asan/lf_sim_test_snapshot
 ./build-asan/lf_run_test_hooks
 ./build-asan/lf_obs_test_obs
 ./build-asan/lf_run_test_sweep
@@ -43,11 +45,14 @@ echo "== TSan: runner/streaming/campaign tests =="
 cmake -B build-tsan -S . -DLF_TSAN=ON
 cmake --build build-tsan -j "${JOBS}" \
     --target lf_run_test_runner lf_run_test_streaming \
-             lf_run_test_hooks \
+             lf_run_test_hooks lf_sim_test_snapshot \
              lf_campaign_test_campaign lf_campaign_test_campaign_files \
              lf_run
 ./build-tsan/lf_run_test_runner
 ./build-tsan/lf_run_test_streaming
+# The warm-snapshot cache is process-wide mutable state shared by all
+# runner workers; TSan gates its mutex + atomic-counter discipline.
+./build-tsan/lf_sim_test_snapshot
 ./build-tsan/lf_run_test_hooks
 ./build-tsan/lf_campaign_test_campaign
 ./build-tsan/lf_campaign_test_campaign_files
@@ -131,21 +136,44 @@ echo "== ASan/UBSan: campaign-overhead smoke test =="
 echo "== ASan/UBSan: runner-throughput smoke test =="
 # The target only exists when google-benchmark is installed (CMake
 # skips it otherwise); probe the configured target list so a real
-# compile error still fails the script.
-if cmake --build build-asan --target help 2>/dev/null |
-        grep -q "microbench_simulator"; then
+# compile error still fails the script. Capture the listing before
+# grepping: `... | grep -q` exits at the first match, the generator
+# dies on SIGPIPE, and under pipefail the probe was reporting "not
+# installed" on hosts where the bench target exists.
+asan_targets="$(cmake --build build-asan --target help 2>/dev/null \
+    || true)"
+if grep -q "microbench_simulator" <<< "${asan_targets}"; then
     cmake --build build-asan -j "${JOBS}" --target microbench_simulator
     (cd build-asan && ./microbench_simulator --smoke > /dev/null)
     # Even in smoke mode the report must carry the counters-overhead
-    # gate fields (the timing gate itself only runs un-smoked).
+    # and snapshot gate fields (timing gates only run un-smoked), the
+    # best-of-N raw samples arrays, and a t8_over_t1 slot that is a
+    # number or an explicit null — report the skip loudly either way.
     python3 - build-asan/BENCH_runner_throughput.json <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
 for key in ("counters_off_t1_trials_per_sec",
             "counters_on_t1_trials_per_sec",
-            "pr7_gate_trials_per_sec", "counters_off_overhead_gate"):
+            "pr7_gate_trials_per_sec", "counters_off_overhead_gate",
+            "snapshot_speedup_t1", "snapshot_restore_ns",
+            "snapshot_replay_ns", "snapshot_preamble_bits",
+            "hw_threads", "repeat"):
     assert key in report, key
+assert "t8_over_t1" in report, "t8_over_t1 slot missing"
+samples = report["reused_t1_samples"]
+assert isinstance(samples, list) and len(samples) == report["repeat"]
+t8 = report["t8_over_t1"]
+if t8 is None:
+    print("t8_over_t1 gate: skipped (host too small: %d hardware"
+          " threads < 8)" % report["hw_threads"])
+else:
+    print("t8_over_t1 measured: %.2f" % t8)
 EOF
+    # perf_report.py smoke: a report diffed against itself must print
+    # zero deltas and exit 0 (gate failures are ignored on smoke runs).
+    python3 scripts/perf_report.py \
+        build-asan/BENCH_runner_throughput.json \
+        build-asan/BENCH_runner_throughput.json --strict
 else
     echo "libbenchmark not found: skipping"
 fi

@@ -27,6 +27,12 @@ ResultCache::entryPath(const ExperimentSpec &spec) const
     return root_ + "/" + key.substr(0, 2) + "/" + key + ".rec";
 }
 
+std::string
+ResultCache::legacyEntryPath(const ExperimentSpec &spec) const
+{
+    return root_ + "/" + trialKey(spec) + ".rec";
+}
+
 bool
 ResultCache::lookup(const ExperimentSpec &spec, ExperimentResult &res,
                     std::string &error) const
@@ -34,9 +40,15 @@ ResultCache::lookup(const ExperimentSpec &spec, ExperimentResult &res,
     error.clear();
     if (!enabled())
         return false;
-    const std::string path = entryPath(spec);
-    if (!pathExists(path))
-        return false; // Plain miss.
+    std::string path = entryPath(spec);
+    if (!pathExists(path)) {
+        // Migration read path: a cache written before sharding filed
+        // this trial flat under the root. The sharded path wins when
+        // both exist (it is the one store() refreshes).
+        path = legacyEntryPath(spec);
+        if (!pathExists(path))
+            return false; // Plain miss.
+    }
 
     std::string text;
     error = readFileText(path, text);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include "common/edit_distance.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "core/trial_context.hh"
 #include "defense/defense.hh"
 #include "noise/environment.hh"
@@ -29,15 +30,48 @@ CovertChannel::chargeMeasurementOverhead()
     core_.runCycles(core_.model().noise.tscOverhead);
 }
 
-ChannelResult
-CovertChannel::transmit(const std::vector<bool> &message,
-                        TrialContext &ctx, int preamble_bits)
+double
+CovertChannel::observeSlot(TrialContext &ctx, bool bit)
+{
+    // One transmission slot under the environment and the defense:
+    // interference lands before the bit (frontend pollution,
+    // scheduler delay), the defense acts at the slot start (flush
+    // quanta, index re-salting) and pads the machine's raw
+    // observable, and the environment then degrades the measurement
+    // (window stretch, timer/meter noise). With a quiet environment
+    // and an inactive defense every hook is an exact no-op.
+    Environment &env = ctx.environment();
+    Defense &defense = ctx.defense();
+    env.beginSlot(core_);
+    defense.beginSlot(core_);
+    const double raw = transmitBit(bit);
+    if (observableIsPower())
+        return env.perturbPower(defense.filterPower(raw));
+    return env.perturbTiming(defense.filterTiming(raw));
+}
+
+void
+CovertChannel::prepareMachine(TrialContext &ctx)
 {
     lf_assert(&ctx.core() == &core_,
               "channel %s is bound to a different Core than the"
-              " TrialContext it is transmitting in", name().c_str());
-    Environment &env = ctx.environment();
-    Defense &defense = ctx.defense();
+              " TrialContext it is preparing in", name().c_str());
+    if (!setupDone_) {
+        setup();
+        setupDone_ = true;
+    }
+    // The defended machine is configured before the first slot
+    // (static partitions, MITE-only delivery); a no-op for an
+    // inactive defense.
+    ctx.defense().arm(core_);
+}
+
+CovertChannel::Calibration
+CovertChannel::calibrate(TrialContext &ctx, int preamble_bits)
+{
+    lf_assert(&ctx.core() == &core_,
+              "channel %s is bound to a different Core than the"
+              " TrialContext it is calibrating in", name().c_str());
     if (preamble_bits < 0)
         preamble_bits = ctx.preambleBits();
     if (preamble_bits < 0)
@@ -46,37 +80,20 @@ CovertChannel::transmit(const std::vector<bool> &message,
         lf_fatal("preamble too short (%d bits; need >= 2)",
                  preamble_bits);
 
-    if (!setupDone_) {
-        setup();
-        setupDone_ = true;
-    }
+    // The tripwire: every source of simulator nondeterminism funnels
+    // through Rng::next(), so a zero draw delta across setup + warmup
+    // + preamble proves the post-calibration state does not depend on
+    // the trial seed. Sampled before prepareMachine() so a channel
+    // whose setup() randomizes is caught too.
+    const std::uint64_t draws_before = rngThreadDraws();
 
-    // The defended machine is configured before the first slot
-    // (static partitions, MITE-only delivery); a no-op for an
-    // inactive defense.
-    defense.arm(core_);
-
-    // One transmission slot under the environment and the defense:
-    // interference lands before the bit (frontend pollution,
-    // scheduler delay), the defense acts at the slot start (flush
-    // quanta, index re-salting) and pads the machine's raw
-    // observable, and the environment then degrades the measurement
-    // (window stretch, timer/meter noise). With a quiet environment
-    // and an inactive defense every hook is an exact no-op.
-    const auto observe = [&](bool bit) {
-        env.beginSlot(core_);
-        defense.beginSlot(core_);
-        const double raw = transmitBit(bit);
-        if (observableIsPower())
-            return env.perturbPower(defense.filterPower(raw));
-        return env.perturbTiming(defense.filterTiming(raw));
-    };
+    prepareMachine(ctx);
 
     // Warmup: the very first transmissions pay cold-start costs (L1I
     // and DSB fills, BTB misses) that would skew calibration; discard
     // them.
     for (int i = 0; i < 4; ++i)
-        observe((i % 2) == 1);
+        observeSlot(ctx, (i % 2) == 1);
 
     // Calibration preamble: alternating 0s and 1s with known values
     // (Sec. VI-B). Class means become the decoding reference.
@@ -86,7 +103,7 @@ CovertChannel::transmit(const std::vector<bool> &message,
     int n1 = 0;
     for (int i = 0; i < preamble_bits; ++i) {
         const bool bit = (i % 2) == 1;
-        const double obs = observe(bit);
+        const double obs = observeSlot(ctx, bit);
         if (bit) {
             sum1 += obs;
             ++n1;
@@ -96,19 +113,33 @@ CovertChannel::transmit(const std::vector<bool> &message,
         }
     }
     lf_assert(n0 > 0 && n1 > 0, "preamble too short");
-    const double mean0 = sum0 / n0;
-    const double mean1 = sum1 / n1;
 
-    // Message transmission.
+    Calibration calib;
+    calib.mean0 = sum0 / n0;
+    calib.mean1 = sum1 / n1;
+    calib.preambleBits = preamble_bits;
+    calib.rngUntouched = rngThreadDraws() == draws_before;
+    return calib;
+}
+
+ChannelResult
+CovertChannel::transmitMessage(const std::vector<bool> &message,
+                               TrialContext &ctx,
+                               const Calibration &calib)
+{
+    lf_assert(&ctx.core() == &core_,
+              "channel %s is bound to a different Core than the"
+              " TrialContext it is transmitting in", name().c_str());
+
     ChannelResult result;
     result.channelName = name();
     result.cpuName = core_.model().name;
     result.seed = core_.seed();
-    result.preambleBits = preamble_bits;
+    result.preambleBits = calib.preambleBits;
     result.config = cfg_;
     result.sent = message;
-    result.meanObs0 = mean0;
-    result.meanObs1 = mean1;
+    result.meanObs0 = calib.mean0;
+    result.meanObs1 = calib.mean1;
 
     const Cycles start = core_.cycle();
     result.received.reserve(message.size());
@@ -118,8 +149,9 @@ CovertChannel::transmit(const std::vector<bool> &message,
         // is the paper's plain protocol.
         int votes = 0;
         for (int r = 0; r < cfg_.repetition; ++r) {
-            const double obs = observe(bit);
-            if (std::fabs(obs - mean1) < std::fabs(obs - mean0))
+            const double obs = observeSlot(ctx, bit);
+            if (std::fabs(obs - calib.mean1) <
+                std::fabs(obs - calib.mean0))
                 ++votes;
         }
         result.received.push_back(2 * votes > cfg_.repetition);
@@ -132,6 +164,14 @@ CovertChannel::transmit(const std::vector<bool> &message,
         ? static_cast<double>(message.size()) / result.seconds / 1e3
         : 0.0;
     return result;
+}
+
+ChannelResult
+CovertChannel::transmit(const std::vector<bool> &message,
+                        TrialContext &ctx, int preamble_bits)
+{
+    const Calibration calib = calibrate(ctx, preamble_bits);
+    return transmitMessage(message, ctx, calib);
 }
 
 } // namespace lf

@@ -215,4 +215,17 @@ clearProgramCache()
     cache().entries.clear();
 }
 
+PreparedChainPtr
+findPreparedChain(const Program *program, const ChunkTable *table)
+{
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    for (const auto &entry : cache().entries) {
+        const PreparedChainPtr &prepared = entry.second;
+        if (&prepared->chain.program == program &&
+            &prepared->table == table)
+            return prepared;
+    }
+    return nullptr;
+}
+
 } // namespace lf

@@ -100,6 +100,18 @@ std::uint64_t preparedCacheThreadMisses();
 
 /** Drop every cached chain (outstanding shared_ptrs stay valid). */
 void clearProgramCache();
+
+/**
+ * The cache entry that owns exactly this (program, table) pair, or
+ * null when the pointers are not cache-owned (per-bind local decode,
+ * channel-private program, cache since cleared). The warm-snapshot
+ * layer (sim/snapshot.hh) uses the returned pin to keep an engine
+ * image's interior pointers alive; a null forces it to bypass.
+ * A linear scan under the cache lock — called once per snapshot
+ * capture, never on the trial hot path.
+ */
+PreparedChainPtr findPreparedChain(const Program *program,
+                                   const ChunkTable *table);
 /// @}
 
 /**

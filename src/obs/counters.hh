@@ -103,6 +103,14 @@ struct CounterSet
     std::uint64_t preparedCacheHits = 0;
     std::uint64_t preparedCacheMisses = 0;
     /// @}
+
+    /** @name Warm-snapshot cache (filled by runExperiment;
+     *  sim/snapshot.hh) */
+    /// @{
+    std::uint64_t snapshotHits = 0;
+    std::uint64_t snapshotMisses = 0;
+    std::uint64_t snapshotBypasses = 0;
+    /// @}
 };
 
 /** Catalog entry: the exported snake_case name, a one-line

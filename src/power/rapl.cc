@@ -47,7 +47,10 @@ RaplCounter::read(Cycles now)
     (void)now;
     const double quantum = params_.quantumMicroJoules;
     double value = std::floor(visibleEnergy_ / quantum) * quantum;
-    value += rng_.gaussian(0.0, params_.noiseStddevMicroJoules);
+    // Zero noise draws nothing, keeping quiet-model reads
+    // RNG-independent (same contract as Core::noisyMeasurement).
+    if (params_.noiseStddevMicroJoules != 0.0)
+        value += rng_.gaussian(0.0, params_.noiseStddevMicroJoules);
     return value < 0.0 ? 0.0 : value;
 }
 

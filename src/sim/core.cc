@@ -33,6 +33,38 @@ Core::reset(const CpuModel &model, std::uint64_t seed)
     raplSyncCycle_ = 0;
 }
 
+Core::WarmState
+Core::saveWarmState() const
+{
+    WarmState s{engine_.saveState(),
+                backend_.saveState(),
+                rapl_.saveState(),
+                staticPartition_,
+                {},
+                raplSyncCycle_};
+    for (int tid = 0; tid < FrontendEngine::kNumThreads; ++tid)
+        s.raplSnapshot[tid] =
+            raplSnapshot_[static_cast<std::size_t>(tid)];
+    return s;
+}
+
+void
+Core::restoreWarmState(const WarmState &s)
+{
+    engine_.loadState(s.engine);
+    backend_.loadState(s.backend);
+    rapl_.loadState(s.rapl);
+    // Raw assignment, not setStaticPartition(): the restored Dsb
+    // image already carries the correct partitioned mapping, and a
+    // refreshPartitionState() here could flush restored LSD state
+    // through a spurious partition transition.
+    staticPartition_ = s.staticPartition;
+    for (int tid = 0; tid < FrontendEngine::kNumThreads; ++tid)
+        raplSnapshot_[static_cast<std::size_t>(tid)] =
+            s.raplSnapshot[tid];
+    raplSyncCycle_ = s.raplSyncCycle;
+}
+
 void
 Core::refreshPartitionState()
 {
@@ -144,12 +176,19 @@ Core::runUntilRetired(ThreadId tid, std::uint64_t insts,
 double
 Core::noisyMeasurement(double true_cycles)
 {
+    // Exact-zero knobs must not touch the RNG: the returned value is
+    // unchanged (a 0-sigma gaussian adds 0.0, a p=0 spike never
+    // fires), and a draw-free quiet path is what lets the warm-state
+    // snapshot cache treat zero-noise calibration as seed-independent
+    // (see sim/snapshot.hh).
     const double sigma = model_.noise.stddevCycles +
         model_.noise.jitterPerKcycle * true_cycles / 1000.0;
     double measured = true_cycles +
-        static_cast<double>(model_.noise.tscOverhead) +
-        rng_.gaussian(0.0, sigma);
-    if (rng_.chance(model_.noise.spikeProb))
+        static_cast<double>(model_.noise.tscOverhead);
+    if (sigma != 0.0)
+        measured += rng_.gaussian(0.0, sigma);
+    if (model_.noise.spikeProb != 0.0 &&
+        rng_.chance(model_.noise.spikeProb))
         measured += rng_.uniform(0.5, 1.5) * model_.noise.spikeCycles;
     return measured < 0.0 ? 0.0 : measured;
 }
@@ -202,8 +241,10 @@ Core::readRapl()
 void
 Core::enclaveTransition(ThreadId tid)
 {
-    const double jitter =
-        rng_.gaussian(0.0, model_.sgx.entryJitterStddev);
+    // Zero jitter draws nothing (same contract as noisyMeasurement).
+    const double jitter = model_.sgx.entryJitterStddev != 0.0
+        ? rng_.gaussian(0.0, model_.sgx.entryJitterStddev)
+        : 0.0;
     double cost = static_cast<double>(model_.sgx.entryCycles) + jitter;
     if (cost < 0.0)
         cost = 0.0;

@@ -22,6 +22,7 @@
 #include "run/sinks.hh"
 #include "run/sweep.hh"
 #include "sim/cpu_model.hh"
+#include "sim/snapshot.hh"
 
 namespace lf {
 namespace {
@@ -261,6 +262,85 @@ TEST(StreamingRunner, ProgramCacheOnAndOffAreBitIdentical)
                 << "cache off, threads=" << threads;
         }
     }
+}
+
+/** Registry-wide quiet grid: every noise knob forced to zero so the
+ *  RNG tripwire stays untripped and warm snapshots engage; several
+ *  trials per cell so later trials actually restore instead of
+ *  calibrating. */
+std::vector<ExperimentSpec>
+quietSnapshotGrid()
+{
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &channel : allChannelNames()) {
+        for (const char *cpu : {"Gold 6226", "E-2288G"}) {
+            ExperimentSpec spec;
+            spec.channel = channel;
+            spec.cpu = cpu;
+            spec.seed = 29;
+            spec.messageBits = 4;
+            spec.overrides = {
+                {"model.noiseStddevCycles", 0},
+                {"model.spikeProb", 0},
+                {"model.jitterPerKcycle", 0},
+                {"model.sgxEntryJitterStddev", 0},
+                {"model.raplNoiseStddevMicroJoules", 0},
+                {"sgxRounds", 400},
+                {"powerRounds", 800},
+            };
+            for (ExperimentSpec &trial : expandTrials(spec, 3))
+                specs.push_back(std::move(trial));
+        }
+    }
+    return specs;
+}
+
+TEST(StreamingRunner, SnapshotCacheOnAndOffAreBitIdentical)
+{
+    // The warm-snapshot cache must be pure memoisation: quiet cells
+    // (where snapshots engage) and noisy cells (where the tripwire
+    // forces a transparent bypass) must both render the same bytes
+    // with the cache forced on and forced off, at every thread count.
+    // registryGrid() runs with default (non-zero) model noise plus a
+    // handful of environment-noise cells — all of it must bypass.
+    const auto quiet = quietSnapshotGrid();
+    auto noisy = registryGrid();
+    for (std::size_t i = 0; i < noisy.size(); i += 7)
+        noisy[i].overrides["env.corunner_intensity"] = 0.5;
+
+    std::string quiet_off;
+    std::string noisy_off;
+    {
+        SnapshotCacheScope scope(false);
+        quiet_off = jsonOf(ExperimentRunner(1).run(quiet));
+        noisy_off = jsonOf(ExperimentRunner(1).run(noisy));
+    }
+
+    for (const int threads : {1, 4, 8}) {
+        SnapshotCacheScope scope(true);
+        clearWarmSnapshotCache();
+        const std::uint64_t hits = snapshotCacheHits();
+        const std::uint64_t bypasses = snapshotCacheBypasses();
+        EXPECT_EQ(jsonOf(ExperimentRunner(threads).run(quiet)),
+                  quiet_off)
+            << "snapshots on (quiet), threads=" << threads;
+        EXPECT_EQ(jsonOf(ExperimentRunner(threads).run(noisy)),
+                  noisy_off)
+            << "snapshots on (noisy), threads=" << threads;
+        if (threads == 1) {
+            // Single-threaded the traffic is deterministic: trials
+            // 2..3 of every quiet cell restore, and every noisy trial
+            // after its cell's first calibrates under a negative
+            // entry. (Racing workers can turn hits into extra misses,
+            // so only the 1-thread counts are exact.)
+            EXPECT_GT(snapshotCacheHits(), hits);
+            EXPECT_GT(snapshotCacheBypasses(), bypasses);
+        }
+    }
+
+    // Leave no cross-test coupling behind: later tests must not see
+    // snapshots captured under this test's grids.
+    clearWarmSnapshotCache();
 }
 
 TEST(StreamingRunner, CountersOnAndOffAreBitIdentical)
